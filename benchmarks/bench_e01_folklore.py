@@ -1,0 +1,20 @@
+"""E01 — folklore ``f(d) = Omega(d)`` (Section 5, item 1)."""
+
+import pytest
+
+from conftest import report
+from repro.experiments import run_experiment
+
+
+@pytest.mark.benchmark(group="E01-folklore")
+def test_e01_folklore(benchmark):
+    result = benchmark.pedantic(
+        run_experiment, args=("E01", "quick"), rounds=1, iterations=1
+    )
+    report(result)
+    series = result.data["series"]["max-based"]
+    ds = sorted(series)
+    # Omega(d): forced skew grows with d and clears the d/12 guarantee.
+    assert series[ds[-1]] > series[ds[0]]
+    for d, skew in series.items():
+        assert skew >= d / 12.0 - 1e-6

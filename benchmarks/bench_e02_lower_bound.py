@@ -1,0 +1,18 @@
+"""E02 — Theorem 8.1: forced distance-1 skew grows with the diameter."""
+
+import pytest
+
+from conftest import report
+from repro.experiments import run_experiment
+
+
+@pytest.mark.benchmark(group="E02-lower-bound")
+def test_e02_lower_bound(benchmark):
+    result = benchmark.pedantic(
+        run_experiment, args=("E02", "quick"), rounds=1, iterations=1
+    )
+    report(result)
+    for algorithm, series in result.data["series"].items():
+        ds = sorted(series)
+        # Monotone growth with diameter: synchronization is not local.
+        assert series[ds[-1]] >= series[ds[0]] - 1e-9, algorithm

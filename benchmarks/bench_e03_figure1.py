@@ -1,0 +1,18 @@
+"""E03 — Figure 1: the staircase of rate-gamma windows."""
+
+import pytest
+
+from conftest import report
+from repro.experiments import run_experiment
+
+
+@pytest.mark.benchmark(group="E03-figure1")
+def test_e03_figure1(benchmark):
+    result = benchmark.pedantic(
+        run_experiment, args=("E03", "quick"), rounds=1, iterations=1
+    )
+    report(result)
+    windows = result.data["windows"]
+    knees = [w[0] for w in windows.values()]
+    # The staircase: knees nondecreasing along the ramp.
+    assert knees == sorted(knees)

@@ -1,0 +1,20 @@
+"""E04 — Section 2 worked example: ~D skew at distance 1."""
+
+import pytest
+
+from conftest import report
+from repro.experiments import run_experiment
+
+
+@pytest.mark.benchmark(group="E04-st-violation")
+def test_e04_st_violation(benchmark):
+    result = benchmark.pedantic(
+        run_experiment, args=("E04", "quick"), rounds=1, iterations=1
+    )
+    report(result)
+    for algorithm, series in result.data["series"].items():
+        ds = sorted(series)
+        # Linear-in-D distance-1 skew: the gradient violation.
+        assert series[ds[-1]] > series[ds[0]], algorithm
+        for d in ds:
+            assert series[d] > 0.5 * d, algorithm

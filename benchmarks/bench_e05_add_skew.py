@@ -1,0 +1,18 @@
+"""E05 — Lemma 6.1 quantitative verification."""
+
+import pytest
+
+from conftest import report
+from repro.experiments import run_experiment
+
+
+@pytest.mark.benchmark(group="E05-add-skew")
+def test_e05_add_skew(benchmark):
+    result = benchmark.pedantic(
+        run_experiment, args=("E05", "quick"), rounds=1, iterations=1
+    )
+    report(result)
+    for row in result.tables[0].as_dicts():
+        assert row["indist."] == "yes"
+        assert row["delays in [d/4,3d/4]"] == "yes"
+        assert float(row["gain"]) >= float(row["guarantee (j-i)/12"]) - 1e-6

@@ -1,0 +1,16 @@
+"""E06 — Lemma 7.1: logical clocks gain at most 16 f(1) per unit time."""
+
+import pytest
+
+from conftest import report
+from repro.experiments import run_experiment
+
+
+@pytest.mark.benchmark(group="E06-bounded-increase")
+def test_e06_bounded_increase(benchmark):
+    result = benchmark.pedantic(
+        run_experiment, args=("E06", "quick"), rounds=1, iterations=1
+    )
+    report(result)
+    for row in result.tables[0].as_dicts():
+        assert row["within bound"] == "yes"

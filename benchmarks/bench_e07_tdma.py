@@ -1,0 +1,19 @@
+"""E07 — TDMA with fixed slot granularity fails as the network grows."""
+
+import pytest
+
+from conftest import report
+from repro.experiments import run_experiment
+
+
+@pytest.mark.benchmark(group="E07-tdma")
+def test_e07_tdma(benchmark):
+    result = benchmark.pedantic(
+        run_experiment, args=("E07", "quick"), rounds=1, iterations=1
+    )
+    report(result)
+    quiet = result.data["series"]["quiet"]
+    adversarial = result.data["series"]["adversarial"]
+    # Quiet executions never collide; adversarial ones do.
+    assert all(rate == 0 for rate in quiet.values())
+    assert any(rate > 0 for rate in adversarial.values())

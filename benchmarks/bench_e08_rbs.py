@@ -1,0 +1,15 @@
+"""E08 — RBS: near-zero uncertainty makes the bound small."""
+
+import pytest
+
+from conftest import report
+from repro.experiments import run_experiment
+
+
+@pytest.mark.benchmark(group="E08-rbs")
+def test_e08_rbs(benchmark):
+    result = benchmark.pedantic(
+        run_experiment, args=("E08", "quick"), rounds=1, iterations=1
+    )
+    report(result)
+    assert result.data["cluster_skew"] < result.data["line_skew"]

@@ -1,0 +1,19 @@
+"""E09 — data fusion: mis-fusion rate vs tolerance."""
+
+import pytest
+
+from conftest import report
+from repro.experiments import run_experiment
+
+
+@pytest.mark.benchmark(group="E09-fusion")
+def test_e09_fusion(benchmark):
+    result = benchmark.pedantic(
+        run_experiment, args=("E09", "quick"), rounds=1, iterations=1
+    )
+    report(result)
+    series = result.data["series"]
+    tolerances = sorted(series["max-based"])
+    mid = tolerances[len(tolerances) // 2]
+    # Synchronized sensors fuse better than unsynchronized ones.
+    assert series["max-based"][mid] < series["null"][mid]

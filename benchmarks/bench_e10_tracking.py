@@ -1,0 +1,20 @@
+"""E10 — target tracking: acceptable skew is a gradient in distance."""
+
+import pytest
+
+from conftest import report
+from repro.apps.tracking import required_skew_for_accuracy
+from repro.experiments import run_experiment
+
+
+@pytest.mark.benchmark(group="E10-tracking")
+def test_e10_tracking(benchmark):
+    result = benchmark.pedantic(
+        run_experiment, args=("E10", "quick"), rounds=1, iterations=1
+    )
+    report(result)
+    # The skew budget column is exactly linear in separation.
+    v = result.data["velocity"]
+    assert required_skew_for_accuracy(8.0, v) == pytest.approx(
+        8.0 * required_skew_for_accuracy(1.0, v)
+    )

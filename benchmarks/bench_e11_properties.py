@@ -1,0 +1,16 @@
+"""E11 — requirements audit: validity + gradient profiles."""
+
+import pytest
+
+from conftest import report
+from repro.experiments import run_experiment
+
+
+@pytest.mark.benchmark(group="E11-properties")
+def test_e11_properties(benchmark):
+    result = benchmark.pedantic(
+        run_experiment, args=("E11", "quick"), rounds=1, iterations=1
+    )
+    report(result)
+    for row in result.tables[0].as_dicts():
+        assert row["validity"] == "ok"

@@ -1,0 +1,22 @@
+"""E12 — Section 9's conjecture: candidate gradient algorithms (extension)."""
+
+import pytest
+
+from conftest import report
+from repro.experiments import run_experiment
+
+
+@pytest.mark.benchmark(group="E12-candidates")
+def test_e12_candidates(benchmark):
+    result = benchmark.pedantic(
+        run_experiment, args=("E12", "quick"), rounds=1, iterations=1
+    )
+    report(result)
+    spikes = result.data["spikes"]
+    ds = sorted(spikes["max-based"])
+    small, large = ds[0], ds[-1]
+    # max-based distance-1 spike scales with D ...
+    assert spikes["max-based"][large] > 2.0 * spikes["max-based"][small]
+    # ... while the gradient candidates stay within a flat budget.
+    for name in ("slewing-max", "bounded-catch-up"):
+        assert spikes[name][large] < spikes["max-based"][large] / 2.0

@@ -1,0 +1,21 @@
+"""Shared helpers for the benchmark harness.
+
+Each benchmark regenerates one of the paper's evaluation artifacts
+(tables E01-E11 as defined in DESIGN.md / EXPERIMENTS.md), times it via
+pytest-benchmark, prints the regenerated table, and writes it under
+``benchmarks/results/`` so the harness output is preserved verbatim.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def report(result) -> None:
+    """Print and persist one experiment's regenerated tables."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    text = result.render()
+    (RESULTS_DIR / f"{result.experiment_id}.txt").write_text(text + "\n")
+    print("\n" + text)

@@ -1,0 +1,87 @@
+#!/usr/bin/env python
+"""A guided tour of the lower-bound machinery, one lemma at a time.
+
+Walks through exactly what the paper's proofs do, executably:
+
+1. build the quiet execution ``alpha_0``;
+2. apply the **Add Skew lemma** (Lemma 6.1) and verify every claim:
+   indistinguishability, rate bounds, delay bounds, the skew gain;
+3. extend quietly and watch the **Bounded Increase lemma** (Lemma 7.1)
+   cap how fast the algorithm repairs the damage;
+4. iterate (Theorem 8.1) until an *adjacent* pair carries the skew.
+
+Run:  python examples/lower_bound_tour.py
+"""
+
+from repro import MaxBasedAlgorithm, line, tau
+from repro.gcs import (
+    AddSkewPlan,
+    AdversarySchedule,
+    LowerBoundAdversary,
+    apply_add_skew,
+    assert_indistinguishable_prefix,
+    measure_bounded_increase,
+    verify_add_skew_claims,
+)
+from repro.gcs.properties import empirical_f
+
+RHO = 0.5
+D = 16
+
+
+def main() -> None:
+    algorithm = MaxBasedAlgorithm()
+    topology = line(D + 1)
+    t = tau(RHO)
+
+    print(f"=== step 1: alpha_0 — quiet execution, duration tau*D = {t * D:g} ===")
+    schedule = AdversarySchedule.quiet(topology.nodes, t * D)
+    alpha = schedule.run(topology, algorithm, rho=RHO)
+    print(f"skew(0, {D}) at end: {alpha.skew(0, D, alpha.duration):+.3f} "
+          "(perfectly symmetric -> zero)\n")
+
+    print("=== step 2: Add Skew (Lemma 6.1) on the pair (0, D) ===")
+    plan = AddSkewPlan(
+        i=0, j=D, n=D + 1, alpha_duration=schedule.duration, rho=RHO
+    )
+    print(f"window [S, T] = [{plan.window_start:g}, {plan.window_end:g}], "
+          f"T' = {plan.beta_end:g}, gamma = {plan.gamma:.4f}")
+    beta_schedule = apply_add_skew(schedule, plan)
+    beta = beta_schedule.run(topology, algorithm, rho=RHO)
+
+    assert_indistinguishable_prefix(alpha, beta)
+    print("Claim 6.2 (indistinguishability): verified on the actual traces")
+    summary = verify_add_skew_claims(alpha, beta, plan)
+    print(f"Claims 6.3-6.4 (rate/delay bounds):  verified")
+    print(f"Claim 6.5 (skew gain): measured {summary['gain']:.3f} "
+          f">= guaranteed {summary['guaranteed_gain']:.3f}\n")
+
+    print("=== step 3: quiet extension + Bounded Increase (Lemma 7.1) ===")
+    pad = plan.straggler_horizon - plan.beta_end
+    extended = beta_schedule.extended((D // 4) * t + pad + 1e-6)
+    alpha1 = extended.run(topology, algorithm, rho=RHO)
+    f_hat = empirical_f([alpha1])
+    report = measure_bounded_increase(alpha1, max(f_hat[1.0], 1e-6), rho=RHO)
+    print(f"fastest one-unit logical gain: {report.max_increase:.3f} "
+          f"<= 16 f(1) = {report.bound:.3f}  "
+          f"({'OK' if report.satisfied else 'VIOLATED'})\n")
+
+    print("=== step 4: the full iteration (Theorem 8.1) ===")
+    result = LowerBoundAdversary(D, rho=RHO, shrink=4).run(algorithm)
+    for r in result.rounds:
+        print(
+            f"  round {r.round_index}: pair ({r.i},{r.j}) span {r.span:>3} "
+            f"skew {r.skew_before:+.3f} -> {r.skew_after_round:+.3f}; "
+            f"pigeonhole -> ({r.next_i},{r.next_j})"
+        )
+    i, j = result.final_pair
+    print(
+        f"\nfinal: nodes {i} and {j} (distance 1) hold "
+        f"{result.final_adjacent_skew:.3f} skew — "
+        f"the Omega(log D / log log D) of Theorem 8.1, forced on a real "
+        f"algorithm by re-running it under warped schedules."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,105 @@
+"""Paper constants and closed-form helpers (Fan & Lynch, PODC 2004).
+
+These are the exact constants used by the proofs:
+
+* Assumption 1 bounds hardware clock rates to ``[1 - rho, 1 + rho]`` with
+  ``0 <= rho < 1``.
+* The Add Skew lemma (Lemma 6.1) uses ``tau = 1 / rho`` and
+  ``gamma = 1 + rho / (4 + rho)``.
+* Requirement 1 (validity) demands logical clock rate at least
+  ``VALIDITY_RATE = 1/2``.
+* One application of Add Skew gains at least ``(j - i) * ADD_SKEW_GAIN``
+  skew (Claim 6.5 uses ``1/12``).
+* The Bounded Increase lemma (Lemma 7.1) bounds one real-time unit of
+  logical-clock increase by ``BOUNDED_INCREASE_FACTOR * f(1) = 16 f(1)``.
+* Theorem 8.1 shrinks the working interval by ``B = 384 tau f(1)`` per
+  round and guarantees skew ``k / 24`` after ``k`` rounds.
+"""
+
+from __future__ import annotations
+
+import math
+
+#: Logical clocks must advance at least this fast (Requirement 1).
+VALIDITY_RATE = 0.5
+
+#: Skew gained per Add Skew application is at least ``ADD_SKEW_GAIN * (j - i)``.
+ADD_SKEW_GAIN = 1.0 / 12.0
+
+#: Claim 6.5: the sped-up window shortens real time by at least
+#: ``(j - i) * MIN_WINDOW_SHRINK`` (the paper's ``1/6``).
+MIN_WINDOW_SHRINK = 1.0 / 6.0
+
+#: Lemma 7.1: ``L(t + 1) - L(t) <= 16 f(1)``.
+BOUNDED_INCREASE_FACTOR = 16.0
+
+#: Theorem 8.1: skew after round ``k`` is at least ``k * ROUND_SKEW_RATE``.
+ROUND_SKEW_RATE = 1.0 / 24.0
+
+#: Theorem 8.1's interval shrink factor is ``384 * tau * f(1)``.
+SHRINK_NUMERATOR = 384.0
+
+#: Default drift bound used across experiments; chosen <= 1/2 so that the
+#: validity requirement holds with margin for hardware-rate logical clocks.
+DEFAULT_RHO = 0.5
+
+#: Absolute tolerance for real-time / clock-value comparisons.
+TIME_EPS = 1e-9
+
+
+def tau(rho: float) -> float:
+    """The paper's ``tau = 1 / rho`` (Lemma 6.1)."""
+    if not 0.0 < rho < 1.0:
+        raise ValueError(f"rho must lie in (0, 1), got {rho}")
+    return 1.0 / rho
+
+
+def gamma(rho: float) -> float:
+    """The paper's sped-up rate ``gamma = 1 + rho / (4 + rho)`` (Lemma 6.1).
+
+    Always strictly below ``1 + rho/4``, hence well inside both the drift
+    bound ``1 + rho`` and the ``1 + rho/2`` band required by Lemma 7.1.
+    """
+    if not 0.0 < rho < 1.0:
+        raise ValueError(f"rho must lie in (0, 1), got {rho}")
+    return 1.0 + rho / (4.0 + rho)
+
+
+def window_shrink(rho: float, span: float) -> float:
+    """Real-time shortening ``T - T' = tau (1 - 1/gamma) span`` of Add Skew.
+
+    Equal to ``span / (4 + 2 rho)``; the paper lower-bounds it by
+    ``span / 6`` using ``rho < 1``.
+    """
+    return tau(rho) * (1.0 - 1.0 / gamma(rho)) * span
+
+
+def lower_bound_curve(diameter: float) -> float:
+    """The main theorem's asymptotic envelope ``log D / log log D``.
+
+    Defined for ``D > e`` (below that the expression is not meaningful);
+    smaller diameters return 0 so plots/series stay total.
+    """
+    if diameter <= math.e:
+        return 0.0
+    return math.log(diameter) / math.log(math.log(diameter))
+
+
+def shrink_factor(rho: float, f_of_one: float) -> float:
+    """Theorem 8.1's per-round interval shrink ``B = 384 tau f(1)``."""
+    if f_of_one <= 0:
+        raise ValueError("f(1) must be positive")
+    return SHRINK_NUMERATOR * tau(rho) * f_of_one
+
+
+def rounds_for(diameter: int, shrink: float) -> int:
+    """Number of Add Skew rounds available: ``floor(log_B (D - 1))``.
+
+    ``shrink`` is the per-round factor ``B``; the construction runs while
+    ``n_k = (D - 1) / B^k >= 1``.
+    """
+    if diameter < 2:
+        return 0
+    if shrink <= 1.0:
+        raise ValueError("shrink factor must exceed 1")
+    return int(math.floor(math.log(diameter - 1) / math.log(shrink)))

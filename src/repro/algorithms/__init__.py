@@ -1,0 +1,34 @@
+"""Clock synchronization algorithms discussed by or implied by the paper."""
+
+from repro.algorithms.averaging import AveragingAlgorithm
+from repro.algorithms.base import NullAlgorithm, SyncAlgorithm
+from repro.algorithms.external import ExternalSyncAlgorithm
+from repro.algorithms.gradient import BoundedCatchUpAlgorithm
+from repro.algorithms.max_based import MaxBasedAlgorithm
+from repro.algorithms.rbs import RBSAlgorithm
+from repro.algorithms.slewing import SlewingMaxAlgorithm
+from repro.algorithms.srikanth_toueg import SrikanthTouegAlgorithm
+
+__all__ = [
+    "SyncAlgorithm",
+    "NullAlgorithm",
+    "MaxBasedAlgorithm",
+    "SrikanthTouegAlgorithm",
+    "AveragingAlgorithm",
+    "BoundedCatchUpAlgorithm",
+    "SlewingMaxAlgorithm",
+    "RBSAlgorithm",
+    "ExternalSyncAlgorithm",
+]
+
+
+def standard_suite(period: float = 1.0) -> list[SyncAlgorithm]:
+    """The algorithms every comparative experiment runs, in table order."""
+    return [
+        MaxBasedAlgorithm(period=period),
+        SrikanthTouegAlgorithm(),
+        AveragingAlgorithm(period=period),
+        BoundedCatchUpAlgorithm(period=period),
+        SlewingMaxAlgorithm(period=period),
+        ExternalSyncAlgorithm(period=period),
+    ]

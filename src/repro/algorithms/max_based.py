@@ -1,0 +1,50 @@
+"""The simplified Srikanth–Toueg max algorithm (Section 2 of the paper).
+
+    "Nodes periodically broadcast their clock values, and any node
+    receiving a value sets its clock value to be the larger of its own
+    clock value and the received value."
+
+This is the algorithm the paper uses to show that existing CSAs violate
+the gradient property: it keeps *global* skew at ``O(D)`` but allows a
+node at distance 1 to lag ``D`` behind its neighbor for a full delay
+interval (the three-node x, y, z scenario reproduced in experiment E04).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.algorithms.base import PeriodicProcess, SyncAlgorithm
+from repro.sim.node import NodeAPI, Process
+from repro.topology.base import Topology
+
+__all__ = ["MaxBasedAlgorithm", "MaxProcess"]
+
+
+class MaxProcess(PeriodicProcess):
+    """Broadcast ``L`` every period; on receive, ``L := max(L, received)``."""
+
+    def on_message(self, api: NodeAPI, sender: int, payload) -> None:
+        kind, value = payload
+        if kind != "clock":
+            return
+        api.jump_logical_to(value)
+
+
+@dataclass
+class MaxBasedAlgorithm(SyncAlgorithm):
+    """Factory for :class:`MaxProcess` nodes.
+
+    Parameters
+    ----------
+    period:
+        Hardware-time gossip period.  Smaller periods track the maximum
+        more closely (and send more messages); the gradient violation
+        exists for every period.
+    """
+
+    period: float = 1.0
+    name: str = "max-based"
+
+    def processes(self, topology: Topology) -> dict[int, Process]:
+        return {node: MaxProcess(self.period) for node in topology.nodes}

@@ -1,0 +1,114 @@
+"""Reference Broadcast Synchronization (Elson, Girod & Estrin [2]).
+
+RBS exploits a physical property of radio: one broadcast reaches all
+receivers at nearly the same instant, so *receiver-receiver* delay
+uncertainty is tiny even when sender-side latency is large.
+
+Protocol (as summarized in Section 2 of the paper):
+
+1. a beacon node broadcasts a numbered pulse;
+2. every receiver records its own clock reading at arrival;
+3. receivers exchange recorded readings;
+4. each node computes its offset to the others from the differences.
+
+Our forward-jump logical clocks realize step 4 by jumping to the largest
+recorded reading for the pulse (so everyone agrees with the fastest
+receiver, within jitter).  Run on a
+:func:`~repro.topology.generators.broadcast_cluster` topology, whose
+distances *are* the receiver jitter, pairwise skew lands at the jitter
+scale — and the paper's lower bound, applied to that tiny diameter,
+is correspondingly tiny.  Experiment E08 measures both.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.algorithms.base import SyncAlgorithm
+from repro.sim.node import NodeAPI, Process
+from repro.topology.base import Topology
+
+__all__ = ["RBSAlgorithm", "BeaconProcess", "ReceiverProcess"]
+
+
+class BeaconProcess(Process):
+    """The beacon: broadcast a numbered pulse every period."""
+
+    PULSE = "pulse"
+
+    def __init__(self, period: float):
+        self.period = period
+        self.pulse = 0
+
+    def on_start(self, api: NodeAPI) -> None:
+        self._fire(api)
+
+    def on_timer(self, api: NodeAPI, name: str) -> None:
+        if name == self.PULSE:
+            self._fire(api)
+
+    def _fire(self, api: NodeAPI) -> None:
+        self.pulse += 1
+        api.broadcast(("pulse", self.pulse))
+        api.set_timer(self.period, self.PULSE)
+
+
+class ReceiverProcess(Process):
+    """A receiver: record pulse arrivals, exchange readings, align forward."""
+
+    def __init__(self, beacon: int):
+        self.beacon = beacon
+        self.readings: dict[int, float] = {}  # pulse -> own hardware reading
+
+    def on_message(self, api: NodeAPI, sender: int, payload) -> None:
+        kind = payload[0]
+        if kind == "pulse" and sender == self.beacon:
+            _, pulse = payload
+            reading = api.hardware_now()
+            self.readings[pulse] = reading
+            for peer in api.neighbors():
+                if peer != self.beacon:
+                    api.send(peer, ("obs", pulse, round(reading, 9)))
+        elif kind == "obs":
+            _, pulse, peer_reading = payload
+            own = self.readings.get(pulse)
+            if own is None:
+                # We have not heard this pulse ourselves yet; skip (the
+                # next pulse will cover it).
+                return
+            # Peer's hardware clock read `peer_reading` at the instant ours
+            # read `own`, so the peer's timeline leads ours by `gap`.
+            # Align the *logical* clock to the fastest receiver's timeline:
+            # L = H + gap (an absolute offset — never re-applied, unlike a
+            # naive increment, which would accumulate once per pulse).
+            gap = peer_reading - own
+            if gap > 0:
+                api.jump_logical_to(api.hardware_now() + gap)
+
+
+@dataclass
+class RBSAlgorithm(SyncAlgorithm):
+    """Factory: node ``beacon`` pulses, everyone else receives.
+
+    Parameters
+    ----------
+    period:
+        Hardware-time pulse period of the beacon.
+    beacon:
+        Which node is the beacon (default node 0).  The beacon does not
+        synchronize itself — RBS synchronizes *receivers with each
+        other*, which is also why its skews are receiver-pair quantities.
+    """
+
+    period: float = 1.0
+    beacon: int = 0
+    name: str = "rbs"
+
+    def processes(self, topology: Topology) -> dict[int, Process]:
+        out: dict[int, Process] = {}
+        for node in topology.nodes:
+            if node == self.beacon:
+                out[node] = BeaconProcess(self.period)
+            else:
+                out[node] = ReceiverProcess(self.beacon)
+        return out

@@ -1,0 +1,89 @@
+"""Round-based resynchronization in the style of Srikanth & Toueg [9].
+
+The original algorithm tolerates Byzantine faults via authenticated
+echoes; the paper cites it as the *optimal-accuracy* CSA whose worst-case
+skew between any pair is ``O(D)``.  We implement the failure-free core
+that produces that behavior:
+
+* time is divided into rounds of ``P`` logical units;
+* when a node's logical clock reaches ``k * P`` it broadcasts
+  ``(resync, k)``;
+* a node accepting ``(resync, k)`` for a round it has not finished sets
+  its logical clock forward to ``k * P`` (never backward) and adopts
+  round ``k``.
+
+Fast nodes drag slow nodes forward once per round, bounding global skew
+by drift plus one diameter of message delay — but, exactly as Section 2
+argues, a node can still jump ``O(D)`` ahead of a distance-1 neighbor
+whose resync message is still in flight.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.algorithms.base import SyncAlgorithm
+from repro.sim.node import NodeAPI, Process
+from repro.topology.base import Topology
+
+__all__ = ["SrikanthTouegAlgorithm", "ResyncProcess"]
+
+
+class ResyncProcess(Process):
+    """One node of the round-based resynchronization algorithm."""
+
+    CHECK = "resync-check"
+
+    def __init__(self, round_length: float, check_period: float):
+        self.round_length = round_length
+        self.check_period = check_period
+        self.round = 0  # highest round we have resynchronized to
+
+    def on_start(self, api: NodeAPI) -> None:
+        api.set_timer(self.check_period, self.CHECK)
+
+    def _maybe_advance(self, api: NodeAPI) -> None:
+        """Start round ``k`` when our own clock reaches ``k * round_length``."""
+        while api.logical_now() >= (self.round + 1) * self.round_length:
+            self.round += 1
+            api.broadcast(("resync", self.round))
+
+    def on_timer(self, api: NodeAPI, name: str) -> None:
+        if name != self.CHECK:
+            return
+        self._maybe_advance(api)
+        api.set_timer(self.check_period, self.CHECK)
+
+    def on_message(self, api: NodeAPI, sender: int, payload) -> None:
+        kind, k = payload
+        if kind != "resync" or k <= self.round:
+            return
+        # Accept round k: jump to its boundary and relay so the resync
+        # propagates beyond our neighborhood.
+        self.round = k
+        api.jump_logical_to(k * self.round_length)
+        api.broadcast(("resync", k))
+
+
+@dataclass
+class SrikanthTouegAlgorithm(SyncAlgorithm):
+    """Factory for :class:`ResyncProcess` nodes.
+
+    Parameters
+    ----------
+    round_length:
+        Logical-time length ``P`` of a resynchronization round.
+    check_period:
+        Hardware-time granularity at which a node checks whether its own
+        clock crossed a round boundary.
+    """
+
+    round_length: float = 8.0
+    check_period: float = 0.5
+    name: str = "srikanth-toueg"
+
+    def processes(self, topology: Topology) -> dict[int, Process]:
+        return {
+            node: ResyncProcess(self.round_length, self.check_period)
+            for node in topology.nodes
+        }

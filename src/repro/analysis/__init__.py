@@ -1,0 +1,45 @@
+"""Measurement and reporting helpers for experiments and tests."""
+
+from repro.analysis.convergence import SteadyState, settling_time, steady_state
+from repro.analysis.gradient_profile import (
+    ProfileFit,
+    fit_linear,
+    normalize_profile,
+    profile_ratio,
+)
+from repro.analysis.reporting import Table
+from repro.analysis.timeseries import (
+    adjacent_skew_series,
+    render_csv,
+    skew_series,
+    sparkline,
+    write_csv,
+)
+from repro.analysis.skew import (
+    SkewSummary,
+    peak_adjacent_over_time,
+    peak_skew_over_time,
+    skew_heatmap,
+    summarize,
+)
+
+__all__ = [
+    "ProfileFit",
+    "fit_linear",
+    "normalize_profile",
+    "profile_ratio",
+    "Table",
+    "SkewSummary",
+    "summarize",
+    "peak_skew_over_time",
+    "peak_adjacent_over_time",
+    "skew_heatmap",
+    "sparkline",
+    "skew_series",
+    "adjacent_skew_series",
+    "write_csv",
+    "render_csv",
+    "SteadyState",
+    "settling_time",
+    "steady_state",
+]

@@ -1,0 +1,72 @@
+"""Convergence metrics: when does a network count as synchronized?
+
+Comparative experiments need a scalar for "how fast did the algorithm
+get there and did it stay": :func:`settling_time` is the earliest
+sample time after which the watched skew never again exceeds the
+threshold; :func:`steady_state` summarizes the tail of the run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable
+
+from repro.sim.execution import Execution
+
+__all__ = ["SteadyState", "settling_time", "steady_state"]
+
+
+def settling_time(
+    execution: Execution,
+    threshold: float,
+    *,
+    step: float = 1.0,
+    metric: Callable[[Execution, float], float] | None = None,
+) -> float | None:
+    """Earliest sample time after which the metric stays <= threshold.
+
+    ``metric`` defaults to network-wide max skew; pass e.g.
+    ``Execution.max_adjacent_skew`` for the local variant.  Returns
+    ``None`` if the run never settles (the honest answer for an
+    unsynchronized network).
+    """
+    metric = metric or Execution.max_skew
+    times = execution.sample_times(step)
+    values = [metric(execution, t) for t in times]
+    settled_from: float | None = None
+    for t, v in zip(times, values):
+        if v > threshold + 1e-9:
+            settled_from = None
+        elif settled_from is None:
+            settled_from = t
+    return settled_from
+
+
+@dataclass(frozen=True)
+class SteadyState:
+    """Tail-of-run skew summary."""
+
+    mean_max_skew: float
+    worst_max_skew: float
+    mean_adjacent_skew: float
+    worst_adjacent_skew: float
+    tail_start: float
+
+
+def steady_state(
+    execution: Execution, *, tail_fraction: float = 0.25, step: float = 1.0
+) -> SteadyState:
+    """Summarize skew over the final ``tail_fraction`` of the run."""
+    if not 0.0 < tail_fraction <= 1.0:
+        raise ValueError("tail_fraction must be in (0, 1]")
+    start = execution.duration * (1.0 - tail_fraction)
+    times = [t for t in execution.sample_times(step) if t >= start]
+    maxes = [execution.max_skew(t) for t in times]
+    adjacents = [execution.max_adjacent_skew(t) for t in times]
+    return SteadyState(
+        mean_max_skew=sum(maxes) / len(maxes),
+        worst_max_skew=max(maxes),
+        mean_adjacent_skew=sum(adjacents) / len(adjacents),
+        worst_adjacent_skew=max(adjacents),
+        tail_start=start,
+    )

@@ -1,0 +1,79 @@
+"""Skew measurement utilities shared by experiments and tests."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.sim.execution import Execution
+
+__all__ = [
+    "SkewSummary",
+    "summarize",
+    "peak_skew_over_time",
+    "peak_adjacent_over_time",
+    "skew_heatmap",
+]
+
+
+@dataclass(frozen=True)
+class SkewSummary:
+    """Headline skew numbers for one execution."""
+
+    max_skew: float
+    max_adjacent_skew: float
+    final_skew: float
+    final_adjacent_skew: float
+    mean_abs_skew: float
+
+    def as_row(self) -> tuple[float, float, float, float, float]:
+        return (
+            self.max_skew,
+            self.max_adjacent_skew,
+            self.final_skew,
+            self.final_adjacent_skew,
+            self.mean_abs_skew,
+        )
+
+
+def summarize(execution: Execution, *, step: float = 1.0) -> SkewSummary:
+    """Peak/final skew statistics over a sampled grid."""
+    times = execution.sample_times(step)
+    peak, peak_adj, abs_sum, count = 0.0, 0.0, 0.0, 0
+    for t in times:
+        m = execution.skew_matrix(t)
+        peak = max(peak, float(np.abs(m).max()))
+        peak_adj = max(peak_adj, execution.max_adjacent_skew(t))
+        abs_sum += float(np.abs(m).sum()) / max(m.size - m.shape[0], 1)
+        count += 1
+    end = execution.duration
+    return SkewSummary(
+        max_skew=peak,
+        max_adjacent_skew=peak_adj,
+        final_skew=execution.max_skew(end),
+        final_adjacent_skew=execution.max_adjacent_skew(end),
+        mean_abs_skew=abs_sum / max(count, 1),
+    )
+
+
+def peak_skew_over_time(
+    execution: Execution, times: Sequence[float]
+) -> np.ndarray:
+    """``max_{i,j} |L_i - L_j|`` per sample time."""
+    return np.array([execution.max_skew(t) for t in times])
+
+
+def peak_adjacent_over_time(
+    execution: Execution, times: Sequence[float]
+) -> np.ndarray:
+    """``max adjacent |L_i - L_j|`` per sample time — Theorem 8.1's series."""
+    return np.array([execution.max_adjacent_skew(t) for t in times])
+
+
+def skew_heatmap(
+    execution: Execution, times: Iterable[float]
+) -> np.ndarray:
+    """Stack of signed skew matrices, one per sample (for offline plotting)."""
+    return np.stack([execution.skew_matrix(t) for t in times])

@@ -1,0 +1,28 @@
+"""Applications from the paper's motivation: TDMA, data fusion, tracking."""
+
+from repro.apps.fusion import (
+    FusionGroup,
+    FusionReport,
+    evaluate_fusion,
+    fusion_groups,
+)
+from repro.apps.tdma import TDMAReport, TDMASchedule, assign_slots, evaluate_tdma
+from repro.apps.tracking import (
+    CrossingEstimate,
+    required_skew_for_accuracy,
+    track_velocity,
+)
+
+__all__ = [
+    "FusionGroup",
+    "FusionReport",
+    "evaluate_fusion",
+    "fusion_groups",
+    "TDMAReport",
+    "TDMASchedule",
+    "assign_slots",
+    "evaluate_tdma",
+    "CrossingEstimate",
+    "required_skew_for_accuracy",
+    "track_velocity",
+]

@@ -1,0 +1,109 @@
+"""Target tracking (the introduction's second motivation).
+
+    "The object's velocity is computed as v = d / t ... the larger the
+     Euclidean distance is between the nodes, the more error is
+     acceptable in t, while still computing v to 1% accuracy.  Thus,
+     the acceptable clock skew of the nodes forms a gradient."
+
+An object moves along the line at true velocity ``v``; node ``a`` logs
+its logical clock when the object passes, node ``b`` likewise; the pair
+estimates ``v_hat = gap / (L_b(t_b) - L_a(t_a))`` where ``gap`` is their
+known separation.  The timestamp difference absorbs the pair's clock
+skew, so the relative velocity error is ``~ skew / (gap / v)`` — skew
+divided by the true traversal time.  For a fixed skew budget the error
+*shrinks* with distance; equivalently, hitting a target accuracy demands
+skew proportional to distance.  That is the gradient requirement,
+measured by experiment E10.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ExperimentError
+from repro.sim.execution import Execution
+
+__all__ = ["CrossingEstimate", "track_velocity", "required_skew_for_accuracy"]
+
+
+@dataclass(frozen=True)
+class CrossingEstimate:
+    """One pair's velocity estimate for one object pass."""
+
+    node_a: int
+    node_b: int
+    separation: float
+    true_velocity: float
+    estimated_velocity: float
+    pair_skew: float
+
+    @property
+    def relative_error(self) -> float:
+        return abs(self.estimated_velocity - self.true_velocity) / self.true_velocity
+
+    @property
+    def meets(self) -> bool:
+        """Whether the paper's 1% accuracy target is met."""
+        return self.relative_error <= 0.01
+
+
+def track_velocity(
+    execution: Execution,
+    node_a: int,
+    node_b: int,
+    *,
+    velocity: float,
+    start_time: float,
+    positions: dict[int, float] | None = None,
+) -> CrossingEstimate:
+    """Simulate one object pass and the pair's velocity estimate.
+
+    The object passes ``node_a`` at ``start_time`` and ``node_b`` after
+    traveling their separation at ``velocity``.  Positions default to
+    the line embedding (node index = coordinate); pass ``positions`` for
+    other topologies.
+    """
+    if velocity <= 0:
+        raise ExperimentError("velocity must be positive")
+    pos_a = positions[node_a] if positions else float(node_a)
+    pos_b = positions[node_b] if positions else float(node_b)
+    separation = abs(pos_b - pos_a)
+    if separation <= 0:
+        raise ExperimentError("nodes must be at distinct positions")
+    t_a = start_time
+    t_b = start_time + separation / velocity
+    if t_b > execution.duration:
+        raise ExperimentError(
+            f"crossing ends at {t_b}, execution lasts {execution.duration}"
+        )
+    stamp_a = execution.logical_value(node_a, t_a)
+    stamp_b = execution.logical_value(node_b, t_b)
+    delta = stamp_b - stamp_a
+    if delta <= 0:
+        estimated = float("inf")
+    else:
+        estimated = separation / delta
+    # The skew contribution: difference between logical and true elapsed.
+    pair_skew = delta - (t_b - t_a)
+    return CrossingEstimate(
+        node_a=node_a,
+        node_b=node_b,
+        separation=separation,
+        true_velocity=velocity,
+        estimated_velocity=estimated,
+        pair_skew=pair_skew,
+    )
+
+
+def required_skew_for_accuracy(
+    separation: float, velocity: float, accuracy: float = 0.01
+) -> float:
+    """Max skew keeping the velocity estimate within ``accuracy``.
+
+    ``v_hat = s / (s/v + skew)``; solving ``|v_hat - v| / v <= accuracy``
+    for the worst sign gives ``skew <= accuracy / (1 - accuracy) * s / v``
+    — linear in separation: the acceptable skew *is* a gradient.
+    """
+    if not 0 < accuracy < 1:
+        raise ExperimentError("accuracy must be in (0, 1)")
+    return accuracy / (1.0 - accuracy) * separation / velocity

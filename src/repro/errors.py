@@ -1,0 +1,57 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch library failures without catching unrelated bugs.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class ModelViolationError(ReproError):
+    """An execution violated one of the paper's model assumptions."""
+
+
+class DriftBoundError(ModelViolationError):
+    """A hardware clock rate left the ``[1 - rho, 1 + rho]`` band (Assumption 1)."""
+
+
+class ValidityError(ModelViolationError):
+    """A logical clock violated Requirement 1 (rate >= 1/2, no backward jumps)."""
+
+
+class DelayBoundError(ModelViolationError):
+    """A message delay left the ``[0, d_ij]`` band allowed by the model."""
+
+
+class ScheduleError(ReproError):
+    """An adversary schedule is malformed (non-monotone breakpoints, etc.)."""
+
+
+class TopologyError(ReproError):
+    """A topology is malformed (asymmetric distances, bad normalization, ...)."""
+
+
+class SimulationError(ReproError):
+    """The simulator reached an inconsistent internal state."""
+
+
+class IndistinguishabilityError(ReproError):
+    """Two executions that must be indistinguishable were told apart.
+
+    Raised by the verifiers in :mod:`repro.gcs.indistinguishability` when a
+    re-run under a warped schedule fails to reproduce the original per-node
+    observations.  This never happens for deterministic algorithms; seeing it
+    indicates a nondeterministic algorithm or a bug in a warp construction.
+    """
+
+
+class ConstructionError(ReproError):
+    """A lower-bound construction's preconditions do not hold."""
+
+
+class ExperimentError(ReproError):
+    """An experiment was asked to run with unusable parameters."""

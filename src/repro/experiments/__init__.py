@@ -1,0 +1,53 @@
+"""Experiment registry: every evaluation artifact of the paper, runnable.
+
+Each experiment is a function ``run(scale, *, seed) -> ExperimentResult``;
+the registry maps experiment ids (E01..E11) to them.  Benchmarks wrap the
+same runners, and ``python -m repro.experiments E02`` runs one from the
+command line.
+"""
+
+from typing import Callable
+
+from repro.errors import ExperimentError
+from repro.experiments import (
+    e01_folklore,
+    e02_lower_bound,
+    e03_figure1,
+    e04_st_violation,
+    e05_add_skew,
+    e06_bounded_increase,
+    e07_tdma,
+    e08_rbs,
+    e09_fusion,
+    e10_tracking,
+    e11_properties,
+    e12_candidates,
+)
+from repro.experiments.common import ExperimentResult
+
+__all__ = ["REGISTRY", "run_experiment", "ExperimentResult"]
+
+REGISTRY: dict[str, Callable[..., ExperimentResult]] = {
+    "E01": e01_folklore.run,
+    "E02": e02_lower_bound.run,
+    "E03": e03_figure1.run,
+    "E04": e04_st_violation.run,
+    "E05": e05_add_skew.run,
+    "E06": e06_bounded_increase.run,
+    "E07": e07_tdma.run,
+    "E08": e08_rbs.run,
+    "E09": e09_fusion.run,
+    "E10": e10_tracking.run,
+    "E11": e11_properties.run,
+    "E12": e12_candidates.run,
+}
+
+
+def run_experiment(experiment_id: str, scale: str = "quick", **kwargs) -> ExperimentResult:
+    """Run one experiment by id (case-insensitive)."""
+    key = experiment_id.upper()
+    if key not in REGISTRY:
+        raise ExperimentError(
+            f"unknown experiment {experiment_id!r}; have {sorted(REGISTRY)}"
+        )
+    return REGISTRY[key](scale, **kwargs)

@@ -1,0 +1,62 @@
+"""Command-line entry point: ``python -m repro.experiments [ids]``."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.errors import ExperimentError
+from repro.experiments import REGISTRY, run_experiment
+
+__all__ = ["main"]
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description=(
+            "Run reproduction experiments for 'Gradient Clock "
+            "Synchronization' (Fan & Lynch, PODC 2004)."
+        ),
+    )
+    parser.add_argument(
+        "ids",
+        nargs="*",
+        metavar="ID",
+        help="experiment ids (E01..E11); default: all",
+    )
+    parser.add_argument(
+        "--scale",
+        choices=["quick", "full"],
+        default="quick",
+        help="parameter scale (full matches EXPERIMENTS.md)",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--list", action="store_true", help="list experiments and exit"
+    )
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for key in sorted(REGISTRY):
+            doc = (REGISTRY[key].__doc__ or "").strip().splitlines()
+            print(f"{key}: {doc[0] if doc else ''}")
+        return 0
+
+    ids = [i.upper() for i in args.ids] or sorted(REGISTRY)
+    for experiment_id in ids:
+        start = time.time()
+        try:
+            result = run_experiment(experiment_id, args.scale, seed=args.seed)
+        except ExperimentError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(result.render())
+        print(f"[{experiment_id} took {time.time() - start:.1f}s]")
+        print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

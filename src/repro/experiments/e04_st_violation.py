@@ -1,0 +1,104 @@
+"""E04 — Section 2's worked example: max-style sync violates the gradient.
+
+Three nodes x, y, z with ``d_xy = D``, ``d_yz = 1``, ``d_xz = D + 1``.
+The adversary runs x's clock fast and delays its messages fully; then it
+drops the ``x -> y`` delay to zero.  y jumps ``~D`` forward the moment
+it hears x; z — one unit of delay away — does not, so for about one unit
+of real time the *distance-1* pair (y, z) carries ``~D`` skew.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.algorithms import MaxBasedAlgorithm, SrikanthTouegAlgorithm
+from repro.analysis.reporting import Table
+from repro.experiments.common import ExperimentResult, Scale, pick
+from repro.gcs.theory import ThreeNodeScenario
+from repro.sim.messages import PerPairDelay
+from repro.sim.rates import PiecewiseConstantRate
+from repro.sim.simulator import SimConfig, run_simulation
+from repro.topology.base import Topology
+
+__all__ = ["run", "build_scenario_topology", "run_scenario"]
+
+
+def build_scenario_topology(big_d: float) -> Topology:
+    """The x, y, z line: distances D, 1, D+1 (nodes 0, 1, 2)."""
+    d = np.array(
+        [
+            [0.0, big_d, big_d + 1.0],
+            [big_d, 0.0, 1.0],
+            [big_d + 1.0, 1.0, 0.0],
+        ]
+    )
+    return Topology.fully_connected(d, name=f"xyz(D={big_d:g})")
+
+
+def run_scenario(
+    algorithm, big_d: float, *, rho: float = 0.5, seed: int = 0
+):
+    """Execute the Section 2 scenario; return (execution, peak yz-skew, time)."""
+    scenario = ThreeNodeScenario(big_d)
+    topology = build_scenario_topology(big_d)
+    # Phase 1 builds the x-ahead state; the switch happens at cut_time.
+    cut_time = max(3.0 * big_d, 12.0)
+    duration = cut_time + 4.0 * big_d
+    rates = {
+        scenario.x: PiecewiseConstantRate.constant(1.0 + rho),
+        scenario.y: PiecewiseConstantRate.constant(1.0),
+        scenario.z: PiecewiseConstantRate.constant(1.0 - rho),
+    }
+    delays = PerPairDelay()
+    delays.set(scenario.x, scenario.y, big_d)          # x -> y: full uncertainty
+    delays.set(scenario.y, scenario.x, 0.0)
+    delays.set(scenario.y, scenario.z, 1.0)            # y -> z: one unit
+    delays.set(scenario.z, scenario.y, 0.0)
+    delays.set(scenario.x, scenario.z, big_d + 1.0)
+    delays.set(scenario.z, scenario.x, 0.0)
+    delays.set_after(scenario.x, scenario.y, cut_time, 0.0)  # the drop
+
+    execution = run_simulation(
+        topology,
+        algorithm.processes(topology),
+        SimConfig(duration=duration, rho=rho, seed=seed),
+        rate_schedules=rates,
+        delay_policy=delays,
+    )
+    times = np.arange(0.0, duration, 0.25)
+    skews = [abs(execution.skew(scenario.y, scenario.z, t)) for t in times]
+    peak_idx = int(np.argmax(skews))
+    return execution, float(skews[peak_idx]), float(times[peak_idx])
+
+
+def run(scale: Scale = "quick", *, rho: float = 0.5, seed: int = 0) -> ExperimentResult:
+    big_ds = pick(scale, [4.0, 8.0, 16.0], [4.0, 8.0, 16.0, 32.0, 64.0])
+    algorithms = [MaxBasedAlgorithm(period=0.5), SrikanthTouegAlgorithm()]
+    table = Table(
+        title="E04: Section 2 scenario — distance-1 skew of the (y,z) pair",
+        headers=["algorithm", "D", "peak |L_y - L_z|", "paper's figure D+1", "peak/D"],
+        caption=(
+            "Existing CSAs keep global skew O(D) but allow ~D skew at "
+            "distance 1; peak/D should be flat (linear growth)."
+        ),
+    )
+    series: dict[str, dict[float, float]] = {}
+    for algorithm in algorithms:
+        series[algorithm.name] = {}
+        for big_d in big_ds:
+            _, peak, _ = run_scenario(algorithm, big_d, rho=rho, seed=seed)
+            table.add_row(
+                algorithm.name, big_d, peak, big_d + 1.0, peak / big_d
+            )
+            series[algorithm.name][big_d] = peak
+    return ExperimentResult(
+        experiment_id="E04",
+        title="Srikanth-Toueg-style algorithms violate the gradient property",
+        paper_artifact="Section 2, three-node worked example",
+        tables=[table],
+        notes=[
+            "Drift details make the concrete peak ~D rather than exactly "
+            "D+1; the linear-in-D growth is the reproduced claim.",
+        ],
+        data={"series": series},
+    )

@@ -1,0 +1,100 @@
+"""E08 — RBS: near-zero uncertainty makes the bound small (Section 2)."""
+
+from __future__ import annotations
+
+from repro._constants import lower_bound_curve
+from repro.algorithms import MaxBasedAlgorithm, RBSAlgorithm
+from repro.analysis.reporting import Table
+from repro.experiments.common import ExperimentResult, Scale, drifted_rates, pick
+from repro.sim.messages import JitterDelay
+from repro.sim.simulator import SimConfig, run_simulation
+from repro.topology.generators import broadcast_cluster, line
+
+__all__ = ["run"]
+
+
+def _receiver_peak_skew(execution, beacon: int, *, step: float = 0.5) -> float:
+    """Worst pairwise skew among non-beacon nodes over time."""
+    nodes = [n for n in execution.topology.nodes if n != beacon]
+    worst = 0.0
+    for t in execution.sample_times(step):
+        values = [execution.logical_value(n, t) for n in nodes]
+        worst = max(worst, max(values) - min(values))
+    return worst
+
+
+def run(scale: Scale = "quick", *, rho: float = 0.1, seed: int = 0) -> ExperimentResult:
+    """RBS in a broadcast cluster vs gossip sync over multi-hop.
+
+    The broadcast cluster has pairwise uncertainty ``eps << 1``; RBS
+    receivers synchronize to ~eps.  The same number of nodes on a
+    multi-hop line has diameter ``n - 1`` and skews orders of magnitude
+    larger.  The paper's remark: our bound applies to RBS too, but with
+    a tiny diameter it is tiny — growing again as the network expands.
+    """
+    n = pick(scale, 8, 16)
+    eps = 0.01
+    duration = pick(scale, 40.0, 80.0)
+
+    cluster = broadcast_cluster(n, uncertainty=eps)
+    rbs = RBSAlgorithm(period=2.0)
+    cluster_exec = run_simulation(
+        cluster,
+        rbs.processes(cluster),
+        SimConfig(duration=duration, rho=rho, seed=seed),
+        rate_schedules=drifted_rates(cluster, rho=rho, seed=seed),
+        delay_policy=JitterDelay(),
+    )
+    cluster_skew = _receiver_peak_skew(cluster_exec, rbs.beacon)
+
+    multihop = line(n)
+    gossip = MaxBasedAlgorithm()
+    line_exec = run_simulation(
+        multihop,
+        gossip.processes(multihop),
+        SimConfig(duration=duration, rho=rho, seed=seed),
+        rate_schedules=drifted_rates(multihop, rho=rho, seed=seed),
+    )
+    line_skew = max(
+        line_exec.max_skew(t) for t in line_exec.sample_times(1.0)
+    )
+
+    table = Table(
+        title="E08: RBS broadcast cluster vs multi-hop gossip",
+        headers=[
+            "setting",
+            "nodes",
+            "diameter (uncertainty)",
+            "peak receiver skew",
+            "lower-bound envelope",
+        ],
+        caption=(
+            "RBS turns uncertainty, hence the achievable skew, down to the "
+            "jitter scale; the same nodes multi-hop pay the full diameter."
+        ),
+    )
+    table.add_row(
+        "RBS cluster",
+        n,
+        cluster.diameter,
+        cluster_skew,
+        lower_bound_curve(cluster.diameter),
+    )
+    table.add_row(
+        "line + max gossip",
+        n,
+        multihop.diameter,
+        line_skew,
+        lower_bound_curve(multihop.diameter),
+    )
+    return ExperimentResult(
+        experiment_id="E08",
+        title="RBS: tiny uncertainty, tiny bound (but not zero)",
+        paper_artifact="Section 2, discussion of Elson et al. [2]",
+        tables=[table],
+        notes=[
+            "The RBS cluster deliberately relaxes the min-distance "
+            "normalization (DESIGN.md, substitutions).",
+        ],
+        data={"cluster_skew": cluster_skew, "line_skew": line_skew, "eps": eps},
+    )

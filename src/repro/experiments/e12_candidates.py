@@ -1,0 +1,141 @@
+"""E12 — Section 9's open problem: candidate gradient algorithms.
+
+    "The main open problem for GCS is whether there exists any f-GCS
+     algorithm with f(d) = o(D).  We believe the answer is yes, and that
+     there exist an f-GCS algorithm with f(d) = O(d + log D).  We are
+     currently analyzing one such candidate algorithm."
+
+This experiment is an **extension beyond the paper's own results** (it
+reproduces the paper's *conjecture*, not a theorem): it pits three
+candidates against the conjectured ``O(d + log D)`` envelope —
+
+* ``max-based``: the Section 2 algorithm (known NOT to be a gradient
+  algorithm — its distance-1 skew scales with ``D`` under attack);
+* ``slewing-max``: max with amortized (bounded-slew) corrections;
+* ``bounded-catch-up``: the distance-aware blocking candidate (the
+  design family later proven ``O(d + log D)``-ish by Locher/Lenzen et
+  al.).
+
+Two measurements per candidate and diameter:
+
+1. **benign envelope fit** — on a drifted random execution, the smallest
+   ``c`` with ``f_hat(d) <= c (d + log D)`` for all ``d``;
+2. **attack spike** — the Section 2 three-node scenario's peak
+   distance-1 skew, the quantity that separates gradient algorithms
+   from mere global synchronizers (it grows ~linearly in ``D`` for
+   max-based, stays flat for the candidates).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.algorithms import (
+    BoundedCatchUpAlgorithm,
+    MaxBasedAlgorithm,
+    SlewingMaxAlgorithm,
+)
+from repro.analysis.reporting import Table
+from repro.experiments.common import ExperimentResult, Scale, drifted_rates, pick
+from repro.experiments.e04_st_violation import run_scenario
+from repro.gcs.properties import empirical_f
+from repro.sim.messages import UniformRandomDelay
+from repro.sim.simulator import SimConfig, run_simulation
+from repro.topology.generators import line
+
+__all__ = ["run"]
+
+
+ATTACK_RHO = 0.2
+
+
+def _candidates():
+    """Candidates parameterized for drift up to ATTACK_RHO.
+
+    Stability requires the catch-up budget to beat the worst drift
+    differential: slewing needs ``sigma >= 2 rho * period`` per period
+    with slack; blocking needs ``(1 + mu)(1 - rho) > 1 + rho``.  (With
+    budgets below these thresholds a slow node can never keep up and
+    local skew degrades — a genuine design constraint this experiment
+    surfaced; see the notes.)
+    """
+    return [
+        MaxBasedAlgorithm(period=0.5),
+        SlewingMaxAlgorithm(period=0.5, sigma=1.0),
+        BoundedCatchUpAlgorithm(period=0.5, kappa=0.5, mu=1.0),
+    ]
+
+
+def _envelope_constant(profile: dict[float, float], diameter: int) -> float:
+    """Smallest c with f_hat(d) <= c * (d + log D) for every d."""
+    log_d = math.log(max(diameter, 2))
+    return max(v / (d + log_d) for d, v in profile.items())
+
+
+def run(scale: Scale = "quick", *, rho: float = 0.1, seed: int = 0) -> ExperimentResult:
+    diameters = pick(scale, [8, 16, 32], [8, 16, 32, 64])
+    duration_factor = 4.0
+    table = Table(
+        title="E12: candidates vs the conjectured O(d + log D) envelope",
+        headers=[
+            "algorithm",
+            "D",
+            "benign f(1)",
+            "benign f(D)",
+            "envelope c",
+            "attack spike (dist 1)",
+        ],
+        caption=(
+            "envelope c = min constant with f_hat(d) <= c (d + log D); "
+            "attack spike = peak distance-1 skew in the Section 2 scenario "
+            "(grows with D only for non-gradient algorithms)."
+        ),
+    )
+    spikes: dict[str, dict[int, float]] = {}
+    constants: dict[str, dict[int, float]] = {}
+    for algorithm in _candidates():
+        spikes[algorithm.name] = {}
+        constants[algorithm.name] = {}
+        for diameter in diameters:
+            topology = line(diameter + 1)
+            execution = run_simulation(
+                topology,
+                algorithm.processes(topology),
+                SimConfig(
+                    duration=duration_factor * diameter, rho=rho, seed=seed
+                ),
+                rate_schedules=drifted_rates(topology, rho=rho, seed=seed),
+                delay_policy=UniformRandomDelay(),
+            )
+            profile = empirical_f([execution])
+            c = _envelope_constant(profile, diameter)
+            _, spike, _ = run_scenario(
+                algorithm, float(diameter), rho=ATTACK_RHO, seed=seed
+            )
+            table.add_row(
+                algorithm.name,
+                diameter,
+                profile.get(1.0, 0.0),
+                profile.get(float(diameter), 0.0),
+                c,
+                spike,
+            )
+            spikes[algorithm.name][diameter] = spike
+            constants[algorithm.name][diameter] = c
+    return ExperimentResult(
+        experiment_id="E12",
+        title="candidate gradient algorithms (extension: Section 9 conjecture)",
+        paper_artifact="Section 9, open problems (conjecture, not a theorem)",
+        tables=[table],
+        notes=[
+            "Extension beyond the paper: regenerates the conjecture's "
+            "playing field, not a published result.",
+            "Expected shape: max-based spike grows ~linearly with D; the "
+            "two candidates' spikes stay flat (bounded by sigma / by mu).",
+            "Candidate budgets must beat the drift differential "
+            "(sigma > 2 rho period; (1+mu)(1-rho) > 1+rho) or slow nodes "
+            "can never catch up — a design constraint this harness "
+            "surfaces empirically.",
+        ],
+        data={"spikes": spikes, "envelope_constants": constants},
+    )

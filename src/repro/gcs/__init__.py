@@ -1,0 +1,59 @@
+"""The paper's contribution: gradient clock synchronization, executable.
+
+Definitions (properties), the Add Skew and Bounded Increase lemmas, the
+Theorem 8.1 adversary, the folklore Omega(d) bound, and the
+indistinguishability machinery they all stand on.
+"""
+
+from repro.gcs.add_skew import AddSkewPlan, apply_add_skew, verify_add_skew_claims
+from repro.gcs.bounded_increase import (
+    BoundedIncreaseReport,
+    check_preconditions,
+    measure_bounded_increase,
+)
+from repro.gcs.folklore import FolkloreResult, force_distance_skew
+from repro.gcs.indistinguishability import (
+    assert_indistinguishable_prefix,
+    assert_same_local_view,
+    local_view,
+)
+from repro.gcs.lower_bound import (
+    LowerBoundAdversary,
+    LowerBoundResult,
+    RoundRecord,
+)
+from repro.gcs.oracle import WarpedDelayOracle
+from repro.gcs.properties import (
+    GradientBound,
+    GradientViolation,
+    check_gradient,
+    check_validity,
+    empirical_f,
+)
+from repro.gcs.schedule import AdversarySchedule
+from repro.gcs.warps import TimeWarp
+
+__all__ = [
+    "AddSkewPlan",
+    "apply_add_skew",
+    "verify_add_skew_claims",
+    "BoundedIncreaseReport",
+    "check_preconditions",
+    "measure_bounded_increase",
+    "FolkloreResult",
+    "force_distance_skew",
+    "assert_indistinguishable_prefix",
+    "assert_same_local_view",
+    "local_view",
+    "LowerBoundAdversary",
+    "LowerBoundResult",
+    "RoundRecord",
+    "WarpedDelayOracle",
+    "GradientBound",
+    "GradientViolation",
+    "check_gradient",
+    "check_validity",
+    "empirical_f",
+    "AdversarySchedule",
+    "TimeWarp",
+]

@@ -1,0 +1,281 @@
+"""The Add Skew lemma (Lemma 6.1), executable.
+
+Given an execution ``alpha`` whose final window ``[S, T]`` is *quiet*
+(all hardware rates 1, all delays exactly ``d/2``), the lemma constructs
+an indistinguishable execution ``beta`` of duration
+``T' = S + (tau / gamma)(j - i)`` in which the clock skew between two
+chosen nodes ``i < j`` grew by at least ``(j - i) / 12``:
+
+* node ``k``'s hardware clock runs at rate ``gamma`` from its knee time
+  ``T_k`` to ``T'`` (Figure 1 of the paper)::
+
+      T_k = S                          for k <= i       (sped up longest)
+            S + (tau/gamma)(k - i)     for i < k < j    (staggered ramp)
+            T'                         for k >= j       (never sped up)
+
+* every action is retimed through the warp
+  ``psi_k = identity until T_k, slope 1/gamma after`` — which is exactly
+  what re-running the deterministic simulator under the new rate
+  schedules and the :class:`~repro.gcs.oracle.WarpedDelayOracle`
+  produces.
+
+The construction is direction-symmetric: ``lead='lo'`` speeds up the
+low-index side (raising ``L_i - L_j``, the paper's orientation after its
+WLOG renumbering), ``lead='hi'`` mirrors it.
+
+This module builds the plan, applies it to an
+:class:`~repro.gcs.schedule.AdversarySchedule`, and verifies the lemma's
+claims (6.2-6.5) numerically on actual executions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro._constants import ADD_SKEW_GAIN, TIME_EPS, gamma as gamma_of, tau as tau_of
+from repro.errors import ConstructionError
+from repro.gcs.oracle import WarpedDelayOracle
+from repro.gcs.schedule import AdversarySchedule
+from repro.gcs.warps import TimeWarp
+from repro.sim.execution import Execution
+
+__all__ = ["AddSkewPlan", "apply_add_skew", "verify_add_skew_claims"]
+
+
+@dataclass(frozen=True)
+class AddSkewPlan:
+    """One application of the Add Skew lemma on a line of ``n`` nodes.
+
+    Parameters
+    ----------
+    i, j:
+        The target pair, ``0 <= i < j < n`` (indices on the line; their
+        distance is ``j - i``).
+    n:
+        Number of nodes (the line network ``d_kl = |k - l|``).
+    alpha_duration:
+        ``T``, the duration of the execution being transformed.
+    rho:
+        Drift bound; fixes ``tau = 1/rho`` and ``gamma = 1 + rho/(4+rho)``.
+    lead:
+        ``'lo'`` to grow ``L_i - L_j`` (speed up low indices),
+        ``'hi'`` to grow ``L_j - L_i``.
+    """
+
+    i: int
+    j: int
+    n: int
+    alpha_duration: float
+    rho: float
+    lead: str = "lo"
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.i < self.j < self.n:
+            raise ConstructionError(
+                f"need 0 <= i < j < n, got i={self.i}, j={self.j}, n={self.n}"
+            )
+        if self.lead not in ("lo", "hi"):
+            raise ConstructionError(f"lead must be 'lo' or 'hi', got {self.lead!r}")
+        if self.window_start < -TIME_EPS:
+            raise ConstructionError(
+                f"alpha (duration {self.alpha_duration}) is shorter than the "
+                f"required quiet window tau*(j-i) = {self.tau * self.span}"
+            )
+
+    # ------------------------------------------------------------------
+    # the lemma's quantities
+
+    @property
+    def span(self) -> int:
+        """``j - i``: the pair distance, and the skew gain is span/12."""
+        return self.j - self.i
+
+    @property
+    def tau(self) -> float:
+        return tau_of(self.rho)
+
+    @property
+    def gamma(self) -> float:
+        return gamma_of(self.rho)
+
+    @property
+    def window_start(self) -> float:
+        """``S = T - tau (j - i)``."""
+        return self.alpha_duration - self.tau * self.span
+
+    @property
+    def window_end(self) -> float:
+        """``T`` (alpha's duration)."""
+        return self.alpha_duration
+
+    @property
+    def beta_end(self) -> float:
+        """``T' = S + (tau / gamma)(j - i)``."""
+        return self.window_start + (self.tau / self.gamma) * self.span
+
+    @property
+    def guaranteed_gain(self) -> float:
+        """Claim 6.5's skew gain: ``(j - i)/12``."""
+        return ADD_SKEW_GAIN * self.span
+
+    @property
+    def leader(self) -> int:
+        """The node whose clock the construction pushes ahead."""
+        return self.i if self.lead == "lo" else self.j
+
+    @property
+    def laggard(self) -> int:
+        return self.j if self.lead == "lo" else self.i
+
+    def signed_skew(self, execution: Execution, t: float) -> float:
+        """``L_leader(t) - L_laggard(t)`` — the quantity the lemma grows."""
+        return execution.skew(self.leader, self.laggard, t)
+
+    # ------------------------------------------------------------------
+    # Figure 1: per-node knee times and warps
+
+    def knee_time(self, k: int) -> float:
+        """``T_k``: when node ``k``'s hardware switches to rate gamma."""
+        if not 0 <= k < self.n:
+            raise ConstructionError(f"node {k} outside [0, {self.n})")
+        if self.lead == "lo":
+            ramp = k - self.i
+        else:
+            ramp = self.j - k
+        if ramp <= 0:
+            return self.window_start
+        if ramp >= self.span:
+            return self.beta_end
+        return self.window_start + (self.tau / self.gamma) * ramp
+
+    def gamma_windows(self) -> dict[int, tuple[float, float]]:
+        """Per node, the real-time window run at rate gamma (Figure 1).
+
+        Nodes on the slow side get an empty window (``T_k == T'``).
+        """
+        return {
+            k: (self.knee_time(k), self.beta_end) for k in range(self.n)
+        }
+
+    def warp(self, k: int) -> TimeWarp:
+        """``psi_k``: alpha-time to beta-time for node ``k``."""
+        return TimeWarp.knee(
+            self.knee_time(k), self.window_end, 1.0 / self.gamma
+        )
+
+    def warps(self) -> dict[int, TimeWarp]:
+        return {k: self.warp(k) for k in range(self.n)}
+
+    @property
+    def straggler_horizon(self) -> float:
+        """Latest beta-time at which a retimed in-flight message can land.
+
+        Alpha receives at or before ``T`` map through the slowest warp to
+        at most ``T' + (T - T')/gamma``; extensions must pad past this so
+        the next round's window is quiet (see module doc of
+        :mod:`repro.gcs.oracle`).
+        """
+        return self.beta_end + (self.window_end - self.beta_end) / self.gamma
+
+
+def apply_add_skew(
+    schedule: AdversarySchedule, plan: AddSkewPlan
+) -> AdversarySchedule:
+    """Transform ``alpha``'s schedule into ``beta``'s (Lemma 6.1).
+
+    The returned schedule has duration ``T'``; running it reproduces the
+    retimed execution.  Raises :class:`ConstructionError` if the
+    schedule's window is not quiet (the lemma's precondition 2; the delay
+    precondition 1 is the caller's responsibility and is checked
+    empirically by :func:`verify_add_skew_claims`).
+    """
+    if abs(schedule.duration - plan.alpha_duration) > 1e-6:
+        raise ConstructionError(
+            f"plan was built for duration {plan.alpha_duration}, "
+            f"schedule has {schedule.duration}"
+        )
+    if not schedule.rates_constant_one(plan.window_start, plan.window_end):
+        raise ConstructionError(
+            "Add Skew precondition: all hardware rates must be 1 during "
+            f"[{plan.window_start}, {plan.window_end}]"
+        )
+    new_rates = {}
+    for node, old in schedule.rates.items():
+        knee = plan.knee_time(node)
+        if knee < plan.beta_end - TIME_EPS:
+            new_rates[node] = old.with_rate(knee, plan.beta_end, plan.gamma)
+        else:
+            new_rates[node] = old
+    oracle = WarpedDelayOracle(
+        base=schedule.delay_oracle,
+        warps=plan.warps(),
+        window_start=plan.window_start,
+        window_end=plan.window_end,
+        beta_end=plan.beta_end,
+    )
+    return AdversarySchedule(
+        rates=new_rates, delay_oracle=oracle, duration=plan.beta_end
+    )
+
+
+def verify_add_skew_claims(
+    alpha: Execution,
+    beta: Execution,
+    plan: AddSkewPlan,
+    *,
+    tol: float = 1e-6,
+) -> dict[str, float]:
+    """Numerically verify Lemma 6.1's claims on two actual executions.
+
+    Checks (raising :class:`ConstructionError` on failure):
+
+    * **Claim 6.3** — beta's hardware rates within ``[1 - rho, 1 + rho]``
+      (and within ``[1, gamma]`` in the window);
+    * **Claim 6.4** — messages received in beta during ``(S, T']`` have
+      delays in ``[d/4, 3d/4]``; the prefix ``[0, S]`` delays match alpha;
+    * **Claim 6.5** — the skew gain is at least ``(j - i)/12``.
+
+    (Claim 6.2, indistinguishability, is checked separately by
+    :func:`repro.gcs.indistinguishability.assert_indistinguishable_prefix`.)
+
+    Returns a summary dict with the measured quantities.
+    """
+    s, t_end, t_beta = plan.window_start, plan.window_end, plan.beta_end
+
+    # Claim 6.3: rate bounds.
+    beta.check_drift_bounds()
+    if not beta.rates_within(1.0, plan.gamma, t_from=s, t_until=t_beta):
+        raise ConstructionError("beta window rates must lie in [1, gamma]")
+
+    # Claim 6.4: delay bounds in the window...
+    if not beta.delays_within(0.25, 0.75, received_from=s, received_until=t_beta):
+        raise ConstructionError(
+            "beta delays in (S, T'] must lie within [d/4, 3d/4]"
+        )
+    # ... and untouched delays before the window.
+    alpha_prefix = {
+        m.seq: m.delay for m in alpha.messages if m.receive_time <= s + TIME_EPS
+    }
+    for m in beta.messages:
+        if m.receive_time <= s + TIME_EPS:
+            if m.seq not in alpha_prefix or abs(alpha_prefix[m.seq] - m.delay) > tol:
+                raise ConstructionError(
+                    f"prefix message {m.seq} delay changed between alpha and beta"
+                )
+
+    # Claim 6.5: skew gain.
+    skew_alpha = plan.signed_skew(alpha, t_end)
+    skew_beta = plan.signed_skew(beta, t_beta)
+    gain = skew_beta - skew_alpha
+    if gain < plan.guaranteed_gain - tol:
+        raise ConstructionError(
+            f"Add Skew gained only {gain}, lemma guarantees "
+            f"{plan.guaranteed_gain}"
+        )
+    return {
+        "skew_alpha": skew_alpha,
+        "skew_beta": skew_beta,
+        "gain": gain,
+        "guaranteed_gain": plan.guaranteed_gain,
+        "window_shrink": t_end - t_beta,
+    }

@@ -1,0 +1,127 @@
+"""Executable indistinguishability (Section 3's proof principle).
+
+    "if for every action pi we have H_alpha(T_alpha(pi)) =
+     H_beta(T_beta(pi)), node i behaves the same in alpha and beta."
+
+Nodes observe only (kind, hardware reading, content) of their actions,
+so two executions are indistinguishable to a node exactly when those
+projections match.  This module compares projections between a base
+execution and a retimed re-run, which turns every "indistinguishable to
+all nodes" step of the paper into an assertion our tests run.
+
+Floating point: warped re-runs reproduce hardware readings up to float
+error, and events that are exactly simultaneous may be processed in
+either order, so the comparison (a) matches readings within a tolerance
+and (b) is insensitive to permutations among same-instant events (which
+cannot influence a deterministic automaton's state at the next distinct
+instant for the order-independent algorithms shipped here).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+from repro.errors import IndistinguishabilityError
+from repro.sim.execution import Execution
+from repro.sim.trace import START
+
+__all__ = [
+    "local_view",
+    "assert_same_local_view",
+    "assert_indistinguishable_prefix",
+]
+
+
+def _canonical_detail(detail: Any, digits: int) -> Any:
+    """Round all floats inside a detail payload for robust comparison."""
+    if isinstance(detail, float):
+        return round(detail, digits)
+    if isinstance(detail, (list, tuple)):
+        return tuple(_canonical_detail(x, digits) for x in detail)
+    if isinstance(detail, dict):
+        return tuple(
+            sorted((k, _canonical_detail(v, digits)) for k, v in detail.items())
+        )
+    return detail
+
+
+def local_view(
+    execution: Execution,
+    node: int,
+    *,
+    hardware_horizon: float | None = None,
+    digits: int = 6,
+) -> list[tuple]:
+    """The node's canonical observation sequence up to a hardware horizon.
+
+    Entries are ``(hardware, kind, detail)`` with floats rounded to
+    ``digits``; sorted by (hardware, kind, detail) so that same-instant
+    permutations compare equal.  ``start`` events are dropped (they are
+    identical by construction).
+    """
+    out = []
+    for kind, hardware, detail in execution.trace.local_observations(node):
+        if kind == START:
+            continue
+        if hardware_horizon is not None and hardware > hardware_horizon:
+            continue
+        out.append(
+            (round(hardware, digits), kind, _canonical_detail(detail, digits))
+        )
+    out.sort(key=repr)
+    return out
+
+
+def assert_same_local_view(
+    alpha: Execution,
+    beta: Execution,
+    node: int,
+    *,
+    hardware_horizon: float,
+    digits: int = 6,
+) -> None:
+    """Assert one node cannot tell ``alpha`` from ``beta`` up to a horizon."""
+    va = local_view(alpha, node, hardware_horizon=hardware_horizon, digits=digits)
+    vb = local_view(beta, node, hardware_horizon=hardware_horizon, digits=digits)
+    if va != vb:
+        diff = _first_difference(va, vb)
+        raise IndistinguishabilityError(
+            f"node {node} distinguishes the executions at {diff}"
+        )
+
+
+def _first_difference(va: list, vb: list) -> str:
+    for k, (a, b) in enumerate(zip(va, vb)):
+        if a != b:
+            return f"index {k}: alpha saw {a}, beta saw {b}"
+    return (
+        f"lengths differ: alpha {len(va)} vs beta {len(vb)}; "
+        f"first extra: "
+        f"{va[len(vb)] if len(va) > len(vb) else vb[len(va)]}"
+    )
+
+
+def assert_indistinguishable_prefix(
+    alpha: Execution,
+    beta: Execution,
+    *,
+    margin: float = 1e-4,
+    digits: int = 6,
+    nodes: Iterable[int] | None = None,
+) -> None:
+    """Assert ``beta`` is indistinguishable from ``alpha`` (Claim 6.2 shape).
+
+    For every node, compare the observation sequences up to the node's
+    hardware horizon in the *shorter* execution (minus a float-safety
+    ``margin``).  For an Add Skew re-run: beta runs until ``T'`` where
+    node ``k`` reads ``H_k^beta(T')``; alpha must have shown node ``k``
+    exactly the same observations up to that reading.
+    """
+    for node in nodes if nodes is not None else alpha.topology.nodes:
+        horizon = min(
+            alpha.hardware_value(node, alpha.duration),
+            beta.hardware_value(node, beta.duration),
+        ) - margin
+        assert_same_local_view(
+            alpha, beta, node, hardware_horizon=horizon, digits=digits
+        )

@@ -1,0 +1,136 @@
+"""The paper's definitions as checkable properties (Sections 3-4).
+
+* Assumption 1 — bounded drift (checked by construction and re-checked
+  on executions);
+* Requirement 1 — validity: every logical clock gains at least ``r/2``
+  over every interval of length ``r``;
+* Requirement 2 — the f-gradient property: ``|L_i(t) - L_j(t)| <=
+  f(d_ij)`` for all pairs at all times.
+
+``f`` is any nondecreasing function; :class:`GradientBound` wraps common
+shapes (linear ``a*d + b``, the conjectured ``O(d + log D)``, a constant)
+and :func:`check_gradient` evaluates Requirement 2 on an execution.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Iterable
+
+from repro.sim.execution import Execution
+
+__all__ = [
+    "GradientBound",
+    "GradientViolation",
+    "check_validity",
+    "check_gradient",
+    "empirical_f",
+]
+
+
+@dataclass(frozen=True)
+class GradientBound:
+    """A nondecreasing ``f`` for the f-GCS property, with a label."""
+
+    fn: Callable[[float], float]
+    label: str
+
+    def __call__(self, d: float) -> float:
+        return self.fn(d)
+
+    @classmethod
+    def linear(cls, slope: float, intercept: float = 0.0) -> "GradientBound":
+        """``f(d) = slope * d + intercept``."""
+        return cls(lambda d: slope * d + intercept, f"{slope}*d+{intercept}")
+
+    @classmethod
+    def conjectured(cls, diameter: float, slope: float = 1.0) -> "GradientBound":
+        """Section 9's conjecture shape: ``f(d) = slope * (d + log D)``."""
+        log_d = math.log(max(diameter, 1.0))
+        return cls(
+            lambda d: slope * (d + log_d), f"{slope}*(d+log {diameter:g})"
+        )
+
+    @classmethod
+    def constant(cls, value: float) -> "GradientBound":
+        """A distance-independent cap (what TDMA-style applications want)."""
+        return cls(lambda d: value, f"const {value}")
+
+
+@dataclass(frozen=True)
+class GradientViolation:
+    """A witnessed violation of Requirement 2."""
+
+    i: int
+    j: int
+    time: float
+    skew: float
+    distance: float
+    bound: float
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"|L_{self.i} - L_{self.j}| = {self.skew:.4f} at t={self.time:.3f} "
+            f"exceeds f({self.distance:g}) = {self.bound:.4f}"
+        )
+
+
+def check_validity(execution: Execution, *, rate: float = 0.5, step: float = 0.5) -> None:
+    """Requirement 1 over the whole execution; raises on violation."""
+    execution.check_validity(rate=rate, step=step)
+
+
+def check_gradient(
+    execution: Execution,
+    bound: GradientBound,
+    *,
+    times: Iterable[float] | None = None,
+) -> list[GradientViolation]:
+    """Evaluate Requirement 2; return all violations found (empty = holds).
+
+    Sampled at ``times`` (default: unit grid).  Sampling is sound for our
+    algorithms between events because skew is piecewise linear in time;
+    the unit grid plus event density makes misses negligible, and the
+    experiments only ever claim *violations* (which are witnessed
+    exactly), never certifications.
+    """
+    times = list(times) if times is not None else execution.sample_times()
+    violations: list[GradientViolation] = []
+    for t in times:
+        snapshot = execution.logical_snapshot(t)
+        for i, j in execution.topology.pairs():
+            d = execution.topology.distance(i, j)
+            limit = bound(d)
+            skew = abs(snapshot[i] - snapshot[j])
+            if skew > limit + 1e-9:
+                violations.append(
+                    GradientViolation(i, j, t, skew, d, limit)
+                )
+    return violations
+
+
+def empirical_f(
+    executions: Iterable[Execution],
+    *,
+    times_step: float = 1.0,
+) -> dict[float, float]:
+    """The pointwise-max gradient profile over several executions.
+
+    This is the tightest nondecreasing-in-observation ``f`` the runs
+    certify: ``f_hat(d) = max over executions/times/pairs at distance d``.
+    """
+    profile: dict[float, float] = {}
+    for execution in executions:
+        for d, skew in execution.gradient_profile(
+            execution.sample_times(times_step)
+        ).items():
+            if skew > profile.get(d, float("-inf")):
+                profile[d] = skew
+    # Enforce monotonicity (f must be nondecreasing): cumulative max.
+    out: dict[float, float] = {}
+    running = 0.0
+    for d in sorted(profile):
+        running = max(running, profile[d])
+        out[d] = running
+    return out

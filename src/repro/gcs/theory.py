@@ -1,0 +1,101 @@
+"""Closed-form quantities from the paper, in one importable place.
+
+Everything here is arithmetic — no simulation — so experiments can print
+"paper says / we measured" columns from a single source of truth.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro._constants import (
+    ADD_SKEW_GAIN,
+    BOUNDED_INCREASE_FACTOR,
+    ROUND_SKEW_RATE,
+    SHRINK_NUMERATOR,
+    gamma,
+    lower_bound_curve,
+    rounds_for,
+    shrink_factor,
+    tau,
+    window_shrink,
+)
+
+__all__ = [
+    "tau",
+    "gamma",
+    "window_shrink",
+    "lower_bound_curve",
+    "shrink_factor",
+    "rounds_for",
+    "add_skew_gain",
+    "bounded_increase_bound",
+    "theorem_skew_after_rounds",
+    "conjectured_upper_bound",
+    "ThreeNodeScenario",
+    "ADD_SKEW_GAIN",
+    "BOUNDED_INCREASE_FACTOR",
+    "ROUND_SKEW_RATE",
+    "SHRINK_NUMERATOR",
+]
+
+
+def add_skew_gain(span: float) -> float:
+    """Lemma 6.1's guaranteed skew gain for a pair at distance ``span``."""
+    return ADD_SKEW_GAIN * span
+
+
+def bounded_increase_bound(f_of_one: float) -> float:
+    """Lemma 7.1's cap on one-unit logical gain: ``16 f(1)``."""
+    return BOUNDED_INCREASE_FACTOR * f_of_one
+
+
+def theorem_skew_after_rounds(k: int) -> float:
+    """Theorem 8.1's guaranteed adjacent skew after ``k`` rounds: ``k/24``."""
+    return ROUND_SKEW_RATE * k
+
+
+def conjectured_upper_bound(d: float, diameter: float, slope: float = 1.0) -> float:
+    """Section 9's conjecture: some algorithm achieves ``O(d + log D)``."""
+    return slope * (d + math.log(max(diameter, 1.0)))
+
+
+@dataclass(frozen=True)
+class ThreeNodeScenario:
+    """Section 2's worked example showing max-style sync is not a gradient.
+
+    Three nodes on a line: ``x`` and ``y`` at distance ``big_d``, ``y``
+    and ``z`` at distance 1 (``x`` and ``z`` at ``big_d + 1``).  Drive
+    ``x``'s clock ``big_d`` ahead of ``y`` (and a bit more ahead of
+    ``z``) while the adversary delays ``x``'s broadcasts by the full
+    uncertainty; then drop the ``x -> y`` delay to 0.  ``y`` jumps
+    ``~big_d`` forward the moment it hears ``x``; ``z`` — one unit of
+    delay away — has not, so for a full unit of real time the
+    distance-1 pair ``(y, z)`` carries ``~big_d`` of skew.
+
+    The expected peak distance-1 skew is ``big_d + 1`` in the paper's
+    idealized account; drift details in a concrete run put it near
+    ``big_d``, growing linearly in ``big_d`` — which is the point:
+    unbounded skew at distance 1 as the diameter grows.
+    """
+
+    big_d: float
+
+    #: Node indices in the 3-node topology.
+    x: int = 0
+    y: int = 1
+    z: int = 2
+
+    @property
+    def expected_peak_skew(self) -> float:
+        """The paper's headline figure for the (y, z) pair."""
+        return self.big_d + 1.0
+
+    @property
+    def distances(self) -> dict[tuple[int, int], float]:
+        return {
+            (self.x, self.y): self.big_d,
+            (self.y, self.z): 1.0,
+            (self.x, self.z): self.big_d + 1.0,
+        }

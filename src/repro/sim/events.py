@@ -1,0 +1,79 @@
+"""Deterministic discrete-event queue.
+
+Events are ordered by ``(time, sequence)``.  The sequence number is the
+global insertion order, which makes the simulation fully deterministic: two
+runs with the same inputs pop events in exactly the same order.  That
+determinism is what lets a re-run under a warped adversary schedule
+reproduce a retimed execution exactly (the executable form of the paper's
+indistinguishability principle).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.errors import SimulationError
+
+__all__ = ["DeliverMessage", "FireTimer", "EventQueue"]
+
+
+@dataclass(frozen=True)
+class DeliverMessage:
+    """Delivery of a message to ``node`` (payload carried separately)."""
+
+    node: int
+    message: Any
+
+
+@dataclass(frozen=True)
+class FireTimer:
+    """A node-local timer set in *hardware* time coming due."""
+
+    node: int
+    name: str
+    generation: int
+
+
+@dataclass(order=True)
+class _Entry:
+    time: float
+    seq: int
+    event: Any = field(compare=False)
+
+
+class EventQueue:
+    """A heap of timestamped events with deterministic tie-breaking."""
+
+    def __init__(self) -> None:
+        self._heap: list[_Entry] = []
+        self._counter = itertools.count()
+        self._last_popped = float("-inf")
+
+    def push(self, time: float, event: Any) -> None:
+        """Schedule ``event`` at ``time`` (must not be in the popped past)."""
+        if time < self._last_popped - 1e-9:
+            raise SimulationError(
+                f"event scheduled at {time} before current time {self._last_popped}"
+            )
+        heapq.heappush(self._heap, _Entry(time, next(self._counter), event))
+
+    def pop(self) -> tuple[float, Any]:
+        """Remove and return the earliest ``(time, event)``."""
+        if not self._heap:
+            raise SimulationError("pop from empty event queue")
+        entry = heapq.heappop(self._heap)
+        self._last_popped = entry.time
+        return entry.time, entry.event
+
+    def peek_time(self) -> Optional[float]:
+        """Earliest scheduled time, or ``None`` if empty."""
+        return self._heap[0].time if self._heap else None
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)

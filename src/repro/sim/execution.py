@@ -1,0 +1,211 @@
+"""Finished executions and the measurements defined on them.
+
+An :class:`Execution` is the complete record of one run: clocks, trace,
+and delivered messages.  All of the paper's quantities are queries on it:
+clock skew ``L_i(t) - L_j(t)`` at any real time, the gradient profile
+(max skew as a function of distance), and the model-compliance checks
+(Assumption 1 drift bounds, Requirement 1 validity, the ``[0, d_ij]``
+delay band, and the tighter bands the lemmas assume).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro._constants import TIME_EPS, VALIDITY_RATE
+from repro.errors import DelayBoundError, ValidityError
+from repro.sim.clock import HardwareClock, LogicalClock
+from repro.sim.messages import Message
+from repro.sim.trace import ExecutionTrace
+from repro.topology.base import Topology
+
+__all__ = ["Execution"]
+
+
+@dataclass
+class Execution:
+    """The result of one simulated execution ``alpha``."""
+
+    topology: Topology
+    duration: float
+    rho: float
+    hardware: dict[int, HardwareClock]
+    logical: dict[int, LogicalClock]
+    trace: ExecutionTrace
+    messages: list[Message]
+
+    # ------------------------------------------------------------------
+    # clock queries
+
+    def hardware_value(self, node: int, t: float) -> float:
+        """``H_node(t)``."""
+        return self.hardware[node].value_at(t)
+
+    def logical_value(self, node: int, t: float) -> float:
+        """``L_node(t)``."""
+        return self.logical[node].value_at(t)
+
+    def skew(self, i: int, j: int, t: float) -> float:
+        """``L_i(t) - L_j(t)`` (signed)."""
+        return self.logical_value(i, t) - self.logical_value(j, t)
+
+    def skew_matrix(self, t: float) -> np.ndarray:
+        """Signed skew between every ordered pair at time ``t``."""
+        values = np.array([self.logical_value(n, t) for n in self.topology.nodes])
+        return values[:, None] - values[None, :]
+
+    def logical_snapshot(self, t: float) -> dict[int, float]:
+        """All logical values at time ``t``."""
+        return {n: self.logical_value(n, t) for n in self.topology.nodes}
+
+    # ------------------------------------------------------------------
+    # skew summaries
+
+    def max_skew(self, t: float) -> float:
+        """Largest absolute skew over all pairs at time ``t``."""
+        return float(np.abs(self.skew_matrix(t)).max())
+
+    def max_skew_pair(self, t: float) -> tuple[int, int, float]:
+        """The pair achieving the largest absolute skew at ``t``."""
+        m = np.abs(self.skew_matrix(t))
+        i, j = np.unravel_index(int(m.argmax()), m.shape)
+        return int(i), int(j), float(m[i, j])
+
+    def max_adjacent_skew(self, t: float) -> float:
+        """Largest absolute skew over minimum-distance pairs at ``t``.
+
+        This is the quantity Theorem 8.1 bounds from below: skew between
+        nodes at distance 1.
+        """
+        return max(
+            abs(self.skew(i, j, t)) for i, j in self.topology.adjacent_pairs()
+        )
+
+    def peak_adjacent_skew(self, times: Iterable[float]) -> tuple[float, float]:
+        """``(time, skew)`` of the largest adjacent skew over sample times."""
+        best_t, best = 0.0, float("-inf")
+        for t in times:
+            s = self.max_adjacent_skew(t)
+            if s > best:
+                best_t, best = t, s
+        return best_t, best
+
+    def sample_times(self, step: float = 1.0) -> list[float]:
+        """Evenly spaced sample times covering the execution."""
+        if step <= 0:
+            raise ValueError("step must be positive")
+        times = list(np.arange(0.0, self.duration, step))
+        times.append(self.duration)
+        return times
+
+    def gradient_profile(
+        self, times: Iterable[float] | None = None
+    ) -> dict[float, float]:
+        """Max absolute skew observed per pair distance.
+
+        The empirical ``f(d)``: for each distinct distance ``d`` in the
+        network, the largest ``|L_i(t) - L_j(t)|`` seen over the sampled
+        times among pairs at distance ``d``.  An algorithm satisfies
+        ``f``-GCS on this run iff the profile sits below ``f``.
+        """
+        times = list(times) if times is not None else self.sample_times()
+        profile: dict[float, float] = {}
+        snapshots = [self.logical_snapshot(t) for t in times]
+        for i, j in self.topology.pairs():
+            d = round(self.topology.distance(i, j), 9)
+            worst = max(abs(snap[i] - snap[j]) for snap in snapshots)
+            if worst > profile.get(d, float("-inf")):
+                profile[d] = worst
+        return dict(sorted(profile.items()))
+
+    # ------------------------------------------------------------------
+    # model-compliance checks
+
+    def check_validity(self, *, rate: float = VALIDITY_RATE, step: float = 0.5) -> None:
+        """Requirement 1 for every node; raises :class:`ValidityError`."""
+        for node in self.topology.nodes:
+            self.logical[node].check_validity(self.duration, rate=rate, step=step)
+
+    def check_drift_bounds(self) -> None:
+        """Assumption 1 for every node (re-validated; construction enforces it)."""
+        for node, hw in self.hardware.items():
+            lo, hi = 1.0 - self.rho, 1.0 + self.rho
+            if not hw.schedule.within_bounds(lo - TIME_EPS, hi + TIME_EPS):
+                raise ValidityError(f"node {node} hardware rate out of bounds")
+
+    def check_delay_bounds(self) -> None:
+        """Every delivered message's delay within ``[0, d_ij]``."""
+        for m in self.messages:
+            d = self.topology.distance(m.sender, m.receiver)
+            if m.delay < -TIME_EPS or m.delay > d + TIME_EPS:
+                raise DelayBoundError(
+                    f"message {m.seq} ({m.sender}->{m.receiver}) delay {m.delay} "
+                    f"outside [0, {d}]"
+                )
+
+    def delays_within(
+        self,
+        lo_frac: float,
+        hi_frac: float,
+        *,
+        received_from: float = 0.0,
+        received_until: float | None = None,
+    ) -> bool:
+        """Whether messages received in the window have delay in
+        ``[lo_frac * d, hi_frac * d]``.
+
+        This is the precondition shape of both lemmas: Add Skew needs delay
+        exactly ``d/2`` in its window, Bounded Increase needs
+        ``[d/4, 3d/4]`` throughout.
+        """
+        until = received_until if received_until is not None else self.duration
+        for m in self.messages:
+            rt = m.receive_time
+            if rt < received_from - TIME_EPS or rt > until + TIME_EPS:
+                continue
+            d = self.topology.distance(m.sender, m.receiver)
+            if m.delay < lo_frac * d - 1e-6 or m.delay > hi_frac * d + 1e-6:
+                return False
+        return True
+
+    def rates_within(
+        self, lo: float, hi: float, *, t_from: float = 0.0, t_until: float | None = None
+    ) -> bool:
+        """Whether all hardware rates over the window lie in ``[lo, hi]``."""
+        until = t_until if t_until is not None else self.duration
+        for hw in self.hardware.values():
+            if hw.schedule.min_rate(t_from, until) < lo - TIME_EPS:
+                return False
+            if hw.schedule.max_rate(t_from, until) > hi + TIME_EPS:
+                return False
+        return True
+
+    # ------------------------------------------------------------------
+    # trajectory helpers (used by analysis & plots)
+
+    def logical_trajectory(
+        self, node: int, times: Sequence[float]
+    ) -> np.ndarray:
+        return np.array([self.logical_value(node, t) for t in times])
+
+    def skew_trajectory(
+        self, i: int, j: int, times: Sequence[float]
+    ) -> np.ndarray:
+        return np.array([self.skew(i, j, t) for t in times])
+
+    def max_logical_increase(self, *, window: float = 1.0, step: float = 0.25,
+                             t_from: float = 0.0) -> float:
+        """``max_i max_t L_i(t + window) - L_i(t)`` — Lemma 7.1's quantity."""
+        worst = 0.0
+        for node in self.topology.nodes:
+            t = t_from
+            while t + window <= self.duration + TIME_EPS:
+                gain = self.logical_value(node, t + window) - self.logical_value(
+                    node, t
+                )
+                worst = max(worst, gain)
+                t += step
+        return worst

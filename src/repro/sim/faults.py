@@ -1,0 +1,85 @@
+"""Fault injection (an extension beyond the paper's reliable model).
+
+The paper assumes a reliable network and non-crashing nodes.  Real
+deployments of the algorithms we implement do not enjoy that luxury, so
+this module provides wrappers for robustness testing:
+
+* :class:`CrashingProcess` — a node that silently stops at a chosen
+  hardware-clock reading (crash-stop).
+* :class:`DroppingDelayPolicy` — drops a fraction of messages.  Dropping
+  is modeled as an *infinite* delay, which leaves the model band (delays
+  must lie in ``[0, d_ij]``) — so a dropped message is simply never
+  enqueued.  These wrappers are therefore **never** used in the paper
+  experiments E01–E11; they exist for the failure-injection test suite.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any
+
+from repro.sim.messages import DelayPolicy
+from repro.sim.node import NodeAPI, Process
+
+__all__ = ["CrashingProcess", "DroppingDelayPolicy", "DROPPED"]
+
+#: Sentinel delay meaning "never delivered"; understood by the simulator
+#: wrapper below (the message is discarded before scheduling).
+DROPPED = float("inf")
+
+
+class CrashingProcess(Process):
+    """Wrap a process so it ignores everything after a crash point.
+
+    The crash point is a hardware clock reading, because that is the only
+    notion of time the node has.
+    """
+
+    def __init__(self, inner: Process, crash_at_hardware: float):
+        self.inner = inner
+        self.crash_at_hardware = crash_at_hardware
+
+    def _alive(self, api: NodeAPI) -> bool:
+        return api.hardware_now() < self.crash_at_hardware
+
+    def on_start(self, api: NodeAPI) -> None:
+        if self._alive(api):
+            self.inner.on_start(api)
+
+    def on_message(self, api: NodeAPI, sender: int, payload: Any) -> None:
+        if self._alive(api):
+            self.inner.on_message(api, sender, payload)
+
+    def on_timer(self, api: NodeAPI, name: str) -> None:
+        if self._alive(api):
+            self.inner.on_timer(api, name)
+
+
+class DroppingDelayPolicy:
+    """Drop each message with probability ``drop_prob``; else delegate.
+
+    Uses its own deterministic RNG so drop decisions do not perturb the
+    inner policy's random stream.
+    """
+
+    def __init__(self, inner: DelayPolicy, drop_prob: float, seed: int = 0):
+        if not 0.0 <= drop_prob < 1.0:
+            raise ValueError(f"drop_prob must be in [0, 1), got {drop_prob}")
+        self.inner = inner
+        self.drop_prob = drop_prob
+        self._rng = random.Random(seed ^ 0xD60B)
+        self.dropped = 0
+
+    def delay(
+        self,
+        sender: int,
+        receiver: int,
+        send_time: float,
+        distance: float,
+        seq: int,
+        rng: random.Random,
+    ) -> float:
+        if self._rng.random() < self.drop_prob:
+            self.dropped += 1
+            return DROPPED
+        return self.inner.delay(sender, receiver, send_time, distance, seq, rng)

@@ -1,0 +1,261 @@
+"""The discrete-event simulator: an executable form of the paper's model.
+
+A :class:`Simulator` runs a set of :class:`~repro.sim.node.Process`
+behaviors on a :class:`~repro.topology.base.Topology` under an adversary
+schedule (per-node hardware rate schedules + a delay policy) for a fixed
+real-time duration.
+
+Determinism contract
+--------------------
+Given identical (topology, processes, schedules, delay policy, seed,
+duration), two runs produce identical traces.  Consequently, re-running
+under a *warped* schedule reproduces exactly the retimed execution that
+the paper's indistinguishability arguments construct on paper — this is
+the mechanism behind :mod:`repro.gcs.add_skew` and
+:mod:`repro.gcs.lower_bound`.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Mapping, Optional
+
+from repro._constants import DEFAULT_RHO, TIME_EPS
+from repro.errors import SimulationError
+from repro.sim.clock import HardwareClock, LogicalClock
+from repro.sim.events import DeliverMessage, EventQueue, FireTimer
+from repro.sim.execution import Execution
+from repro.sim.messages import (
+    DelayPolicy,
+    HalfDistanceDelay,
+    Message,
+    validate_delay,
+)
+from repro.sim.node import NodeAPI, Process
+from repro.sim.rates import PiecewiseConstantRate
+from repro.sim.trace import (
+    ExecutionTrace,
+    RECEIVE,
+    SEND,
+    START,
+    TIMER,
+    TraceEvent,
+)
+from repro.topology.base import Topology
+
+__all__ = ["SimConfig", "Simulator", "run_simulation"]
+
+
+@dataclass(frozen=True)
+class SimConfig:
+    """Run parameters.
+
+    Attributes
+    ----------
+    duration:
+        Real-time length of the execution (``l(alpha)`` in the paper).
+    rho:
+        Hardware drift bound (Assumption 1).
+    seed:
+        Seed for all randomness (per-node RNGs and random delay policies).
+    record_trace:
+        Traces cost memory; long benign runs may disable them.
+    """
+
+    duration: float
+    rho: float = DEFAULT_RHO
+    seed: int = 0
+    record_trace: bool = True
+
+
+class Simulator:
+    """One execution of algorithm processes under an adversary schedule."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        processes: Mapping[int, Process],
+        config: SimConfig,
+        *,
+        rate_schedules: Optional[Mapping[int, PiecewiseConstantRate]] = None,
+        delay_policy: Optional[DelayPolicy] = None,
+    ):
+        if set(processes) != set(topology.nodes):
+            raise SimulationError("processes must cover exactly the topology's nodes")
+        if config.duration <= 0:
+            raise SimulationError("duration must be positive")
+        self.topology = topology
+        self.config = config
+        self.delay_policy: DelayPolicy = delay_policy or HalfDistanceDelay()
+        self._processes = dict(processes)
+        self._queue = EventQueue()
+        self._trace = ExecutionTrace()
+        self._messages: list[Message] = []
+        self._msg_counter = 0
+        self._timer_generation = 0
+        self.now = 0.0
+        self._finished = False
+        self._delay_rng = random.Random(config.seed ^ 0x5EED)
+
+        schedules = dict(rate_schedules or {})
+        self._hardware: dict[int, HardwareClock] = {}
+        self._logical: dict[int, LogicalClock] = {}
+        self._api: dict[int, NodeAPI] = {}
+        for node in topology.nodes:
+            schedule = schedules.get(node, PiecewiseConstantRate.constant(1.0))
+            hw = HardwareClock(schedule, config.rho)
+            lc = LogicalClock(hw)
+            self._hardware[node] = hw
+            self._logical[node] = lc
+            self._api[node] = NodeAPI(
+                self, node, lc, random.Random((config.seed * 1_000_003) ^ node)
+            )
+
+    # ------------------------------------------------------------------
+    # services used by NodeAPI
+
+    def record(self, event: TraceEvent) -> None:
+        if self.config.record_trace:
+            self._trace.append(event)
+
+    def send_message(self, sender: int, receiver: int, payload) -> None:
+        if sender == receiver:
+            raise SimulationError(f"node {sender} tried to message itself")
+        distance = self.topology.distance(sender, receiver)
+        raw = self.delay_policy.delay(
+            sender, receiver, self.now, distance, self._msg_counter, self._delay_rng
+        )
+        seq = self._msg_counter
+        self._msg_counter += 1
+        self.record(
+            TraceEvent(
+                real_time=self.now,
+                node=sender,
+                hardware=self._hardware[sender].value_at(self.now),
+                logical=self._logical[sender].read(self.now),
+                kind=SEND,
+                detail=(receiver, payload),
+            )
+        )
+        if raw == float("inf"):
+            # Fault-injection sentinel (sim.faults.DROPPED): the node sent
+            # but the network lost the message.  Outside the paper's
+            # reliable model; test-suite only.
+            return
+        delay = validate_delay(raw, distance)
+        message = Message(
+            seq=seq,
+            sender=sender,
+            receiver=receiver,
+            payload=payload,
+            send_time=self.now,
+            delay=delay,
+        )
+        self._messages.append(message)
+        self._queue.push(message.receive_time, DeliverMessage(receiver, message))
+
+    def set_timer(self, node: int, delta_hardware: float, name: str) -> None:
+        if delta_hardware <= 0:
+            raise SimulationError(f"timer delta must be positive, got {delta_hardware}")
+        hw = self._hardware[node]
+        fire_at = hw.time_at(hw.value_at(self.now) + delta_hardware)
+        self._timer_generation += 1
+        self._queue.push(fire_at, FireTimer(node, name, self._timer_generation))
+
+    # ------------------------------------------------------------------
+    # the event loop
+
+    def run(self) -> Execution:
+        """Execute until ``config.duration`` and return the finished execution."""
+        if self._finished:
+            raise SimulationError("a Simulator instance runs exactly once")
+        self._finished = True
+        duration = self.config.duration
+
+        for node in self.topology.nodes:
+            self.record(
+                TraceEvent(
+                    real_time=0.0,
+                    node=node,
+                    hardware=0.0,
+                    logical=self._logical[node].read(0.0),
+                    kind=START,
+                    detail=None,
+                )
+            )
+        for node in self.topology.nodes:
+            self._processes[node].on_start(self._api[node])
+
+        while self._queue:
+            next_time = self._queue.peek_time()
+            if next_time is None or next_time > duration + TIME_EPS:
+                break
+            time, event = self._queue.pop()
+            self.now = time
+            if isinstance(event, DeliverMessage):
+                self._deliver(event.message)
+            elif isinstance(event, FireTimer):
+                self._fire_timer(event)
+            else:  # pragma: no cover - queue only ever holds the two kinds
+                raise SimulationError(f"unknown event {event!r}")
+        self.now = duration
+        return self._build_execution()
+
+    def _deliver(self, message: Message) -> None:
+        node = message.receiver
+        self.record(
+            TraceEvent(
+                real_time=self.now,
+                node=node,
+                hardware=self._hardware[node].value_at(self.now),
+                logical=self._logical[node].read(self.now),
+                kind=RECEIVE,
+                detail=(message.sender, message.payload),
+            )
+        )
+        self._processes[node].on_message(self._api[node], message.sender, message.payload)
+
+    def _fire_timer(self, event: FireTimer) -> None:
+        node = event.node
+        self.record(
+            TraceEvent(
+                real_time=self.now,
+                node=node,
+                hardware=self._hardware[node].value_at(self.now),
+                logical=self._logical[node].read(self.now),
+                kind=TIMER,
+                detail=event.name,
+            )
+        )
+        self._processes[node].on_timer(self._api[node], event.name)
+
+    def _build_execution(self) -> Execution:
+        return Execution(
+            topology=self.topology,
+            duration=self.config.duration,
+            rho=self.config.rho,
+            hardware={n: self._hardware[n] for n in self.topology.nodes},
+            logical={n: self._logical[n] for n in self.topology.nodes},
+            trace=self._trace,
+            messages=list(self._messages),
+        )
+
+
+def run_simulation(
+    topology: Topology,
+    processes: Mapping[int, Process],
+    config: SimConfig,
+    *,
+    rate_schedules: Optional[Mapping[int, PiecewiseConstantRate]] = None,
+    delay_policy: Optional[DelayPolicy] = None,
+) -> Execution:
+    """Convenience wrapper: build a :class:`Simulator` and run it."""
+    sim = Simulator(
+        topology,
+        processes,
+        config,
+        rate_schedules=rate_schedules,
+        delay_policy=delay_policy,
+    )
+    return sim.run()

@@ -1,0 +1,27 @@
+"""Topologies: distance matrices (delay uncertainty) + communication graphs."""
+
+from repro.topology.base import Topology
+from repro.topology.generators import (
+    balanced_tree,
+    broadcast_cluster,
+    complete,
+    grid,
+    line,
+    random_geometric,
+    ring,
+    star,
+    two_nodes,
+)
+
+__all__ = [
+    "Topology",
+    "line",
+    "ring",
+    "grid",
+    "complete",
+    "star",
+    "balanced_tree",
+    "random_geometric",
+    "broadcast_cluster",
+    "two_nodes",
+]

@@ -1,0 +1,55 @@
+"""Tests for the averaging baseline."""
+
+import pytest
+
+from repro.algorithms import AveragingAlgorithm, NullAlgorithm
+from repro.sim.rates import PiecewiseConstantRate
+from repro.sim.simulator import SimConfig, run_simulation
+from repro.topology.generators import line
+
+RHO = 0.4
+
+
+def run_line(alg, n=6, duration=50.0, fast=None):
+    topo = line(n)
+    rates = {}
+    if fast is not None:
+        rates[fast] = PiecewiseConstantRate.constant(1.0 + RHO)
+    return run_simulation(
+        topo,
+        alg.processes(topo),
+        SimConfig(duration=duration, rho=RHO, seed=0),
+        rate_schedules=rates,
+    )
+
+
+class TestParameters:
+    def test_rejects_bad_pull(self):
+        with pytest.raises(ValueError):
+            AveragingAlgorithm(pull=0.0)
+        with pytest.raises(ValueError):
+            AveragingAlgorithm(pull=1.5)
+
+    def test_pull_one_allowed(self):
+        AveragingAlgorithm(pull=1.0)
+
+
+class TestBehavior:
+    def test_converges_toward_fast_node(self):
+        ex = run_line(AveragingAlgorithm(period=0.5), fast=5)
+        null = run_line(NullAlgorithm(), fast=5)
+        assert ex.max_skew(50.0) < null.max_skew(50.0) / 2.0
+
+    def test_smaller_pull_adjusts_more_slowly(self):
+        gentle = run_line(AveragingAlgorithm(period=0.5, pull=0.2), fast=5)
+        eager = run_line(AveragingAlgorithm(period=0.5, pull=1.0), fast=5)
+        assert eager.max_skew(50.0) <= gentle.max_skew(50.0) + 1e-9
+
+    def test_validity(self):
+        run_line(AveragingAlgorithm(), fast=3).check_validity()
+
+    def test_jumps_are_halved_gaps(self):
+        # With pull=0.5 the first jump closes half the observed gap.
+        ex = run_line(AveragingAlgorithm(period=0.5, pull=0.5), fast=5)
+        jumps = [e for e in ex.trace.of_kind("jump") if e.node == 4]
+        assert jumps, "neighbor of the fast node must adjust"

@@ -1,0 +1,78 @@
+"""Tests for the bounded-slew max candidate."""
+
+import pytest
+
+from repro.algorithms import MaxBasedAlgorithm, NullAlgorithm, SlewingMaxAlgorithm
+from repro.sim.messages import PerPairDelay
+from repro.sim.rates import PiecewiseConstantRate
+from repro.sim.simulator import SimConfig, run_simulation
+from repro.topology.generators import line
+
+RHO = 0.2
+
+
+def run_line(alg, n=6, duration=60.0, fast=None, seed=0):
+    topo = line(n)
+    rates = {}
+    if fast is not None:
+        rates[fast] = PiecewiseConstantRate.constant(1.0 + RHO)
+    return run_simulation(
+        topo,
+        alg.processes(topo),
+        SimConfig(duration=duration, rho=RHO, seed=seed),
+        rate_schedules=rates,
+    )
+
+
+class TestParameters:
+    def test_rejects_bad_sigma(self):
+        with pytest.raises(ValueError):
+            SlewingMaxAlgorithm(sigma=0.0)
+
+
+class TestBehavior:
+    def test_jumps_never_exceed_sigma(self):
+        alg = SlewingMaxAlgorithm(period=0.5, sigma=0.3)
+        ex = run_line(alg, fast=5)
+        for e in ex.trace.of_kind("jump"):
+            assert e.detail <= 0.3 + 1e-9
+
+    def test_converges_when_sigma_beats_drift(self):
+        alg = SlewingMaxAlgorithm(period=0.5, sigma=1.0)
+        ex = run_line(alg, fast=5)
+        null = run_line(NullAlgorithm(), fast=5)
+        assert ex.max_skew(60.0) < null.max_skew(60.0) / 2.0
+
+    def test_validity(self):
+        run_line(SlewingMaxAlgorithm(period=0.5), fast=3).check_validity()
+
+    def test_spike_smaller_than_max_based(self):
+        """The point of slewing: delay drops cannot yank nearby clocks."""
+        topo = line(3, comm_radius=2.0)
+        rates = {0: PiecewiseConstantRate.constant(1.0 + RHO)}
+        delays = PerPairDelay()
+        delays.set(0, 1, 1.0)
+        delays.set_after(0, 1, 30.0, 0.0)
+        config = SimConfig(duration=45.0, rho=RHO, seed=0)
+
+        def spike(alg):
+            ex = run_simulation(
+                topo,
+                alg.processes(topo),
+                config,
+                rate_schedules=rates,
+                delay_policy=delays,
+            )
+            pre = max(abs(ex.skew(1, 2, t)) for t in (28.0, 29.0, 29.9))
+            post = max(abs(ex.skew(1, 2, t)) for t in (30.1, 30.5, 31.0, 32.0))
+            return post - pre
+
+        assert spike(SlewingMaxAlgorithm(period=0.5, sigma=0.5)) <= spike(
+            MaxBasedAlgorithm(period=0.5)
+        )
+
+    def test_in_standard_suite(self):
+        from repro.algorithms import standard_suite
+
+        names = [a.name for a in standard_suite()]
+        assert "slewing-max" in names

@@ -1,0 +1,93 @@
+"""Tests for the target tracking overlay (apps.tracking)."""
+
+import pytest
+
+from repro.algorithms import NullAlgorithm
+from repro.apps.tracking import required_skew_for_accuracy, track_velocity
+from repro.errors import ExperimentError
+from repro.sim.rates import PiecewiseConstantRate
+from repro.sim.simulator import SimConfig, run_simulation
+from repro.topology.generators import line
+
+
+def execution(rates=None, duration=40.0):
+    topo = line(9)
+    return run_simulation(
+        topo,
+        NullAlgorithm().processes(topo),
+        SimConfig(duration=duration, rho=0.5, seed=0),
+        rate_schedules=rates or {},
+    )
+
+
+class TestTrackVelocity:
+    def test_perfect_clocks_exact_estimate(self):
+        ex = execution()
+        est = track_velocity(ex, 0, 4, velocity=2.0, start_time=5.0)
+        assert est.estimated_velocity == pytest.approx(2.0)
+        assert est.relative_error == pytest.approx(0.0, abs=1e-9)
+        assert est.meets
+        assert est.pair_skew == pytest.approx(0.0, abs=1e-9)
+
+    def test_skewed_clock_biases_estimate(self):
+        rates = {4: PiecewiseConstantRate.constant(1.2)}
+        ex = execution(rates)
+        est = track_velocity(ex, 0, 4, velocity=2.0, start_time=10.0)
+        # Node 4's clock runs 20% fast: delta_t inflated, velocity low.
+        assert est.estimated_velocity < 2.0
+        assert est.relative_error > 0.01
+        assert not est.meets
+
+    def test_custom_positions(self):
+        ex = execution()
+        est = track_velocity(
+            ex,
+            0,
+            1,
+            velocity=1.0,
+            start_time=2.0,
+            positions={0: 0.0, 1: 10.0},
+        )
+        assert est.separation == 10.0
+
+    def test_crossing_beyond_duration_rejected(self):
+        ex = execution(duration=5.0)
+        with pytest.raises(ExperimentError):
+            track_velocity(ex, 0, 8, velocity=0.5, start_time=1.0)
+
+    def test_bad_velocity_rejected(self):
+        ex = execution()
+        with pytest.raises(ExperimentError):
+            track_velocity(ex, 0, 4, velocity=0.0, start_time=1.0)
+
+    def test_same_position_rejected(self):
+        ex = execution()
+        with pytest.raises(ExperimentError):
+            track_velocity(
+                ex, 0, 1, velocity=1.0, start_time=1.0, positions={0: 2.0, 1: 2.0}
+            )
+
+
+class TestRequiredSkew:
+    def test_linear_in_separation(self):
+        b1 = required_skew_for_accuracy(1.0, 2.0)
+        b4 = required_skew_for_accuracy(4.0, 2.0)
+        assert b4 == pytest.approx(4.0 * b1)
+
+    def test_formula(self):
+        # accuracy/(1-accuracy) * s / v
+        assert required_skew_for_accuracy(10.0, 2.0, accuracy=0.01) == pytest.approx(
+            0.01 / 0.99 * 5.0
+        )
+
+    def test_budget_is_sufficient(self):
+        # An estimate whose skew equals the budget meets the accuracy.
+        s, v = 8.0, 2.0
+        budget = required_skew_for_accuracy(s, v, accuracy=0.01)
+        t_true = s / v
+        v_hat = s / (t_true + budget)
+        assert abs(v_hat - v) / v <= 0.01 + 1e-12
+
+    def test_rejects_bad_accuracy(self):
+        with pytest.raises(ExperimentError):
+            required_skew_for_accuracy(1.0, 1.0, accuracy=0.0)

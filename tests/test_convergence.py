@@ -1,0 +1,67 @@
+"""Tests for convergence metrics (analysis.convergence)."""
+
+import pytest
+
+from repro.algorithms import MaxBasedAlgorithm, NullAlgorithm
+from repro.analysis.convergence import settling_time, steady_state
+from repro.sim.execution import Execution
+from repro.sim.rates import PiecewiseConstantRate
+from repro.sim.simulator import SimConfig, run_simulation
+from repro.topology.generators import line
+
+RHO = 0.4
+
+
+def run(alg, duration=40.0):
+    topo = line(5)
+    rates = {4: PiecewiseConstantRate.constant(1.0 + RHO)}
+    return run_simulation(
+        topo,
+        alg.processes(topo),
+        SimConfig(duration=duration, rho=RHO, seed=0),
+        rate_schedules=rates,
+    )
+
+
+class TestSettlingTime:
+    def test_synchronized_run_settles(self):
+        ex = run(MaxBasedAlgorithm(period=0.5))
+        t = settling_time(ex, threshold=4.0)
+        assert t is not None
+        assert t < ex.duration
+
+    def test_unsynchronized_run_never_settles(self):
+        ex = run(NullAlgorithm())
+        # Drift accumulates 0.4/s: max skew ends at 16 and keeps growing.
+        assert settling_time(ex, threshold=4.0) is None
+
+    def test_trivial_threshold_settles_at_zero(self):
+        ex = run(NullAlgorithm())
+        assert settling_time(ex, threshold=1e9) == 0.0
+
+    def test_custom_metric(self):
+        ex = run(MaxBasedAlgorithm(period=0.5))
+        t = settling_time(
+            ex, threshold=3.0, metric=Execution.max_adjacent_skew
+        )
+        assert t is not None
+
+
+class TestSteadyState:
+    def test_summary_ordering(self):
+        ex = run(MaxBasedAlgorithm(period=0.5))
+        s = steady_state(ex)
+        assert s.mean_max_skew <= s.worst_max_skew + 1e-12
+        assert s.mean_adjacent_skew <= s.worst_adjacent_skew + 1e-12
+        assert s.worst_adjacent_skew <= s.worst_max_skew + 1e-12
+        assert s.tail_start == pytest.approx(30.0)
+
+    def test_synchronized_beats_null_in_steady_state(self):
+        synced = steady_state(run(MaxBasedAlgorithm(period=0.5)))
+        free = steady_state(run(NullAlgorithm()))
+        assert synced.mean_max_skew < free.mean_max_skew / 2
+
+    def test_bad_fraction_rejected(self):
+        ex = run(NullAlgorithm(), duration=10.0)
+        with pytest.raises(ValueError):
+            steady_state(ex, tail_fraction=0.0)

@@ -1,0 +1,72 @@
+"""Tests for the deterministic event queue (sim.events)."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.events import DeliverMessage, EventQueue, FireTimer
+
+
+class TestOrdering:
+    def test_pops_in_time_order(self):
+        q = EventQueue()
+        q.push(3.0, "c")
+        q.push(1.0, "a")
+        q.push(2.0, "b")
+        assert [q.pop()[1] for _ in range(3)] == ["a", "b", "c"]
+
+    def test_ties_break_by_insertion_order(self):
+        q = EventQueue()
+        for name in ("first", "second", "third"):
+            q.push(1.0, name)
+        assert [q.pop()[1] for _ in range(3)] == ["first", "second", "third"]
+
+    def test_pop_returns_time(self):
+        q = EventQueue()
+        q.push(2.5, "x")
+        t, e = q.pop()
+        assert t == 2.5 and e == "x"
+
+
+class TestSafety:
+    def test_pop_empty_raises(self):
+        with pytest.raises(SimulationError):
+            EventQueue().pop()
+
+    def test_push_into_popped_past_raises(self):
+        q = EventQueue()
+        q.push(5.0, "later")
+        q.pop()
+        with pytest.raises(SimulationError):
+            q.push(4.0, "past")
+
+    def test_push_at_current_time_ok(self):
+        q = EventQueue()
+        q.push(5.0, "a")
+        q.pop()
+        q.push(5.0, "same-instant")  # same instant is legal
+        assert q.pop() == (5.0, "same-instant")
+
+
+class TestIntrospection:
+    def test_peek_time(self):
+        q = EventQueue()
+        assert q.peek_time() is None
+        q.push(7.0, "x")
+        q.push(3.0, "y")
+        assert q.peek_time() == 3.0
+
+    def test_len_and_bool(self):
+        q = EventQueue()
+        assert not q and len(q) == 0
+        q.push(1.0, "x")
+        assert q and len(q) == 1
+
+
+class TestEventTypes:
+    def test_deliver_message_fields(self):
+        e = DeliverMessage(node=3, message="m")
+        assert e.node == 3 and e.message == "m"
+
+    def test_fire_timer_fields(self):
+        e = FireTimer(node=1, name="tick", generation=7)
+        assert (e.node, e.name, e.generation) == (1, "tick", 7)

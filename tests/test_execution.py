@@ -1,0 +1,147 @@
+"""Tests for Execution measurement and validation (sim.execution)."""
+
+import pytest
+
+from repro.algorithms import MaxBasedAlgorithm, NullAlgorithm
+from repro.errors import DelayBoundError
+from repro.sim.rates import PiecewiseConstantRate
+from repro.sim.simulator import SimConfig, run_simulation
+from repro.topology.generators import line
+
+RHO = 0.5
+
+
+def drifted(n=5, duration=20.0, fast_node=None):
+    topo = line(n)
+    rates = {}
+    if fast_node is not None:
+        rates[fast_node] = PiecewiseConstantRate.constant(1.0 + RHO)
+    return run_simulation(
+        topo,
+        NullAlgorithm().processes(topo),
+        SimConfig(duration=duration, rho=RHO, seed=0),
+        rate_schedules=rates,
+    )
+
+
+class TestClockQueries:
+    def test_logical_and_hardware_values(self):
+        ex = drifted(fast_node=2)
+        assert ex.hardware_value(0, 10.0) == pytest.approx(10.0)
+        assert ex.hardware_value(2, 10.0) == pytest.approx(15.0)
+        assert ex.logical_value(2, 10.0) == pytest.approx(15.0)  # null alg: L = H
+
+    def test_skew_signed(self):
+        ex = drifted(fast_node=2)
+        assert ex.skew(2, 0, 10.0) == pytest.approx(5.0)
+        assert ex.skew(0, 2, 10.0) == pytest.approx(-5.0)
+
+    def test_skew_matrix_antisymmetric(self):
+        ex = drifted(fast_node=1)
+        m = ex.skew_matrix(8.0)
+        assert m.shape == (5, 5)
+        assert m[1, 0] == pytest.approx(-m[0, 1])
+        assert m[1, 0] == pytest.approx(4.0)
+
+    def test_snapshot(self):
+        ex = drifted()
+        snap = ex.logical_snapshot(5.0)
+        assert set(snap) == set(range(5))
+
+
+class TestSkewSummaries:
+    def test_max_skew_and_pair(self):
+        ex = drifted(fast_node=3)
+        i, j, s = ex.max_skew_pair(20.0)
+        assert {i, j} == {3, 0} or s == pytest.approx(10.0)
+        assert ex.max_skew(20.0) == pytest.approx(10.0)
+
+    def test_max_adjacent_skew(self):
+        ex = drifted(fast_node=2)
+        # fast node 2 vs neighbors 1 and 3
+        assert ex.max_adjacent_skew(10.0) == pytest.approx(5.0)
+
+    def test_peak_adjacent_skew_over_times(self):
+        ex = drifted(fast_node=2)
+        t, s = ex.peak_adjacent_skew([0.0, 10.0, 20.0])
+        assert t == 20.0
+        assert s == pytest.approx(10.0)
+
+    def test_sample_times_include_end(self):
+        ex = drifted(duration=10.0)
+        times = ex.sample_times(3.0)
+        assert times[0] == 0.0
+        assert times[-1] == 10.0
+
+    def test_sample_times_rejects_bad_step(self):
+        ex = drifted()
+        with pytest.raises(ValueError):
+            ex.sample_times(0.0)
+
+    def test_gradient_profile_monotone_in_distance_for_drift(self):
+        ex = drifted(fast_node=4, duration=10.0)
+        profile = ex.gradient_profile()
+        assert set(profile) == {1.0, 2.0, 3.0, 4.0}
+        # Node 4 is fastest: skew grows with distance from it.
+        assert profile[4.0] >= profile[1.0]
+
+
+class TestValidators:
+    def test_check_validity_passes_for_null(self):
+        drifted().check_validity()
+
+    def test_check_delay_bounds_passes(self):
+        topo = line(4)
+        alg = MaxBasedAlgorithm()
+        ex = run_simulation(
+            topo, alg.processes(topo), SimConfig(duration=10.0, seed=0)
+        )
+        ex.check_delay_bounds()
+
+    def test_check_delay_bounds_catches_corruption(self):
+        topo = line(4)
+        alg = MaxBasedAlgorithm()
+        ex = run_simulation(
+            topo, alg.processes(topo), SimConfig(duration=10.0, seed=0)
+        )
+        # Corrupt a message record post-hoc.
+        from dataclasses import replace
+
+        ex.messages[0] = replace(ex.messages[0], delay=99.0)
+        with pytest.raises(DelayBoundError):
+            ex.check_delay_bounds()
+
+    def test_delays_within_windowed(self):
+        topo = line(4)
+        alg = MaxBasedAlgorithm()
+        ex = run_simulation(
+            topo, alg.processes(topo), SimConfig(duration=10.0, seed=0)
+        )
+        # quiet schedule: all delays are exactly d/2
+        assert ex.delays_within(0.5, 0.5)
+        assert ex.delays_within(0.25, 0.75)
+        assert not ex.delays_within(0.6, 0.75)
+
+    def test_rates_within(self):
+        ex = drifted(fast_node=2)
+        assert ex.rates_within(1.0, 1.5)
+        assert not ex.rates_within(1.0, 1.2)
+        # Window before any breakpoint trivially within.
+        assert ex.rates_within(0.9, 1.6, t_from=0.0, t_until=5.0)
+
+
+class TestTrajectories:
+    def test_logical_trajectory(self):
+        ex = drifted(fast_node=1, duration=10.0)
+        traj = ex.logical_trajectory(1, [0.0, 5.0, 10.0])
+        assert traj == pytest.approx([0.0, 7.5, 15.0])
+
+    def test_skew_trajectory(self):
+        ex = drifted(fast_node=1, duration=10.0)
+        traj = ex.skew_trajectory(1, 0, [0.0, 10.0])
+        assert traj == pytest.approx([0.0, 5.0])
+
+    def test_max_logical_increase(self):
+        ex = drifted(fast_node=2, duration=10.0)
+        # Fastest clock runs at 1.5: max gain over 1 unit is 1.5.
+        assert ex.max_logical_increase(window=1.0) == pytest.approx(1.5)

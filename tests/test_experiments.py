@@ -1,0 +1,149 @@
+"""Tests for the experiment registry and runners (smoke level).
+
+Each experiment runs at quick scale with reduced parameters where the
+runner supports it; assertions check the *shape* claims the paper makes,
+not absolute numbers.
+"""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments import REGISTRY, run_experiment
+from repro.experiments.cli import main as cli_main
+
+
+class TestRegistry:
+    def test_all_experiments_present(self):
+        # E01-E11 reproduce the paper; E12 is the Section 9 extension.
+        assert sorted(REGISTRY) == [f"E{k:02d}" for k in range(1, 13)]
+
+    def test_unknown_id_raises(self):
+        with pytest.raises(ExperimentError):
+            run_experiment("E99")
+
+    def test_case_insensitive(self):
+        result = run_experiment("e03")
+        assert result.experiment_id == "E03"
+
+    def test_bad_scale_raises(self):
+        with pytest.raises(ExperimentError):
+            run_experiment("E01", scale="huge")
+
+
+class TestRunners:
+    def test_e01_linear_growth(self):
+        result = run_experiment("E01")
+        series = result.data["series"]["max-based"]
+        ds = sorted(series)
+        assert series[ds[-1]] > series[ds[0]]
+        # Omega(d): at least the d/12 guarantee scale.
+        for d, skew in series.items():
+            assert skew >= d / 12.0 - 1e-6
+
+    def test_e03_figure_shape(self):
+        result = run_experiment("E03")
+        windows = result.data["windows"]
+        knees = [w[0] for w in windows.values()]
+        assert knees == sorted(knees)
+
+    def test_e04_linear_in_d(self):
+        result = run_experiment("E04")
+        series = result.data["series"]["max-based"]
+        ds = sorted(series)
+        assert series[ds[-1]] > series[ds[0]]
+        # peak ~ D: within a small constant factor
+        for d in ds:
+            assert series[d] > 0.5 * d
+
+    def test_e08_cluster_beats_multihop(self):
+        result = run_experiment("E08")
+        assert result.data["cluster_skew"] < result.data["line_skew"]
+
+    def test_e09_sync_beats_null(self):
+        result = run_experiment("E09")
+        series = result.data["series"]
+        tolerances = sorted(series["max-based"])
+        mid = tolerances[len(tolerances) // 2]
+        assert series["max-based"][mid] < series["null"][mid]
+
+    def test_e10_budget_grows_linearly(self):
+        result = run_experiment("E10")
+        series = result.data["series"]["max-based"]
+        assert len(series) >= 3
+
+    def test_e11_renders(self):
+        result = run_experiment("E11")
+        rendered = result.render()
+        assert "validity" in rendered
+        profiles = result.data["profiles"]
+        assert set(profiles) == {
+            "max-based",
+            "srikanth-toueg",
+            "averaging",
+            "bounded-catch-up",
+            "slewing-max",
+            "external",
+        }
+
+    def test_result_render_contains_tables(self):
+        result = run_experiment("E03")
+        out = result.render()
+        assert "E03" in out
+        assert "paper artifact" in out
+
+
+@pytest.mark.slow
+class TestSlowRunners:
+    def test_e02_growth_with_diameter(self):
+        result = run_experiment("E02")
+        series = result.data["series"]["max-based"]
+        ds = sorted(series)
+        assert series[ds[-1]] >= series[ds[0]] - 1e-9
+
+    def test_e05_all_verified(self):
+        result = run_experiment("E05")
+        for row in result.tables[0].as_dicts():
+            assert row["indist."] == "yes"
+            assert row["delays in [d/4,3d/4]"] == "yes"
+
+    def test_e06_within_bound(self):
+        result = run_experiment("E06")
+        for row in result.tables[0].as_dicts():
+            assert row["within bound"] == "yes"
+
+    def test_e07_adversarial_collisions_appear(self):
+        result = run_experiment("E07")
+        adv = result.data["series"]["adversarial"]
+        quiet = result.data["series"]["quiet"]
+        assert all(v == 0 for v in quiet.values())
+        assert any(v > 0 for v in adv.values())
+
+    def test_e12_candidates_flat_spikes(self):
+        result = run_experiment("E12")
+        spikes = result.data["spikes"]
+        ds = sorted(spikes["max-based"])
+        assert spikes["max-based"][ds[-1]] > 2.0 * spikes["max-based"][ds[0]]
+        for name in ("slewing-max", "bounded-catch-up"):
+            assert spikes[name][ds[-1]] < spikes["max-based"][ds[-1]] / 2.0
+
+
+class TestCLI:
+    def test_list(self, capsys):
+        assert cli_main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "E01" in out and "E11" in out and "E12" in out
+
+    def test_run_single(self, capsys):
+        assert cli_main(["E03"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 1" in out
+
+    def test_run_multiple(self, capsys):
+        assert cli_main(["E03", "E01"]) == 0
+        out = capsys.readouterr().out
+        assert "E03" in out and "E01" in out
+
+    def test_unknown_id_exits_nonzero(self, capsys):
+        assert cli_main(["E99"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown experiment" in err

@@ -1,0 +1,91 @@
+"""Failure-injection tests (sim.faults) — extensions beyond the paper."""
+
+import pytest
+
+from repro.algorithms import MaxBasedAlgorithm
+from repro.sim.faults import CrashingProcess, DroppingDelayPolicy
+from repro.sim.messages import HalfDistanceDelay
+from repro.sim.simulator import SimConfig, run_simulation
+from repro.topology.generators import line
+
+
+class TestCrashing:
+    def test_crashed_node_stops_sending(self):
+        topo = line(3)
+        alg = MaxBasedAlgorithm()
+        procs = alg.processes(topo)
+        procs[0] = CrashingProcess(procs[0], crash_at_hardware=5.0)
+        ex = run_simulation(topo, procs, SimConfig(duration=20.0, seed=0))
+        sends_from_0 = [e for e in ex.trace.of_kind("send") if e.node == 0]
+        assert sends_from_0, "node 0 should send before crashing"
+        assert all(e.hardware < 5.0 + 1e-9 for e in sends_from_0)
+
+    def test_crash_at_zero_never_starts(self):
+        topo = line(3)
+        alg = MaxBasedAlgorithm()
+        procs = alg.processes(topo)
+        procs[1] = CrashingProcess(procs[1], crash_at_hardware=0.0)
+        ex = run_simulation(topo, procs, SimConfig(duration=10.0, seed=0))
+        assert not [e for e in ex.trace.of_kind("send") if e.node == 1]
+
+    def test_survivors_keep_syncing(self):
+        topo = line(4)
+        alg = MaxBasedAlgorithm()
+        procs = alg.processes(topo)
+        procs[3] = CrashingProcess(procs[3], crash_at_hardware=2.0)
+        ex = run_simulation(topo, procs, SimConfig(duration=30.0, seed=0))
+        ex.check_validity()
+        # Nodes 0..2 still exchange messages after the crash.
+        late_sends = [
+            e
+            for e in ex.trace.of_kind("send")
+            if e.node in (0, 1, 2) and e.real_time > 10.0
+        ]
+        assert late_sends
+
+
+class TestDropping:
+    def test_rejects_bad_probability(self):
+        with pytest.raises(ValueError):
+            DroppingDelayPolicy(HalfDistanceDelay(), drop_prob=1.0)
+
+    def test_drops_expected_fraction(self):
+        topo = line(4)
+        alg = MaxBasedAlgorithm(period=0.5)
+        policy = DroppingDelayPolicy(HalfDistanceDelay(), drop_prob=0.5, seed=3)
+        ex = run_simulation(
+            topo,
+            alg.processes(topo),
+            SimConfig(duration=40.0, seed=0),
+            delay_policy=policy,
+        )
+        sent = len(ex.trace.of_kind("send"))
+        received = len(ex.trace.of_kind("receive"))
+        assert policy.dropped > 0
+        assert received < sent
+        # Roughly half dropped (binomial; wide tolerance).
+        assert 0.3 < policy.dropped / sent < 0.7
+
+    def test_zero_probability_drops_nothing(self):
+        topo = line(3)
+        alg = MaxBasedAlgorithm()
+        policy = DroppingDelayPolicy(HalfDistanceDelay(), drop_prob=0.0)
+        ex = run_simulation(
+            topo,
+            alg.processes(topo),
+            SimConfig(duration=10.0, seed=0),
+            delay_policy=policy,
+        )
+        assert policy.dropped == 0
+
+    def test_sync_survives_light_loss(self):
+        topo = line(4)
+        alg = MaxBasedAlgorithm(period=0.5)
+        policy = DroppingDelayPolicy(HalfDistanceDelay(), drop_prob=0.2, seed=1)
+        ex = run_simulation(
+            topo,
+            alg.processes(topo),
+            SimConfig(duration=40.0, seed=0),
+            delay_policy=policy,
+        )
+        ex.check_validity()

@@ -1,0 +1,117 @@
+"""Property-based tests (hypothesis) for simulator-level invariants.
+
+Random small networks, random drift assignments, random delay bands —
+the invariants every execution must satisfy regardless:
+
+* every receive happens exactly ``delay`` after its send, within the
+  model band ``[0, d_ij]``;
+* per-node trace hardware readings are nondecreasing in time;
+* logical clocks satisfy validity;
+* replaying the recorded delays reproduces the run.
+"""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.algorithms import (
+    AveragingAlgorithm,
+    BoundedCatchUpAlgorithm,
+    MaxBasedAlgorithm,
+    SlewingMaxAlgorithm,
+)
+from repro.sim.messages import UniformRandomDelay
+from repro.sim.rates import PiecewiseConstantRate
+from repro.sim.replay import verify_replay
+from repro.sim.simulator import SimConfig, run_simulation
+from repro.topology.generators import line, ring
+
+ALGORITHMS = {
+    "max": MaxBasedAlgorithm,
+    "avg": AveragingAlgorithm,
+    "bcu": BoundedCatchUpAlgorithm,
+    "slew": SlewingMaxAlgorithm,
+}
+
+
+@st.composite
+def scenarios(draw):
+    n = draw(st.integers(min_value=3, max_value=7))
+    shape = draw(st.sampled_from(["line", "ring"]))
+    topo = line(n) if shape == "line" else ring(max(n, 3))
+    rho = draw(st.sampled_from([0.1, 0.3, 0.5]))
+    seed = draw(st.integers(min_value=0, max_value=2**16))
+    rng = random.Random(seed)
+    rates = {
+        node: PiecewiseConstantRate.constant(rng.uniform(1 - rho, 1 + rho))
+        for node in topo.nodes
+    }
+    alg_name = draw(st.sampled_from(sorted(ALGORITHMS)))
+    lo = draw(st.sampled_from([0.0, 0.25]))
+    hi = draw(st.sampled_from([0.75, 1.0]))
+    return topo, rho, seed, rates, alg_name, (lo, hi)
+
+
+def run_scenario(scenario, duration=12.0):
+    topo, rho, seed, rates, alg_name, (lo, hi) = scenario
+    alg = ALGORITHMS[alg_name]()
+    return (
+        run_simulation(
+            topo,
+            alg.processes(topo),
+            SimConfig(duration=duration, rho=rho, seed=seed),
+            rate_schedules=rates,
+            delay_policy=UniformRandomDelay(lo, hi),
+        ),
+        alg_name,
+    )
+
+
+@given(scenarios())
+@settings(max_examples=40, deadline=None)
+def test_receive_equals_send_plus_delay(scenario):
+    ex, _ = run_scenario(scenario)
+    for m in ex.messages:
+        assert m.receive_time == m.send_time + m.delay
+        d = ex.topology.distance(m.sender, m.receiver)
+        assert -1e-9 <= m.delay <= d + 1e-9
+
+
+@given(scenarios())
+@settings(max_examples=40, deadline=None)
+def test_per_node_hardware_readings_nondecreasing(scenario):
+    ex, _ = run_scenario(scenario)
+    for node in ex.topology.nodes:
+        readings = [e.hardware for e in ex.trace.for_node(node)]
+        assert readings == sorted(readings)
+
+
+@given(scenarios())
+@settings(max_examples=40, deadline=None)
+def test_validity_always_holds(scenario):
+    ex, _ = run_scenario(scenario)
+    ex.check_validity()
+
+
+@given(scenarios())
+@settings(max_examples=15, deadline=None)
+def test_replay_reproduces_random_runs(scenario):
+    ex, alg_name = run_scenario(scenario)
+    verify_replay(ex, ALGORITHMS[alg_name]())
+
+
+@given(scenarios())
+@settings(max_examples=25, deadline=None)
+def test_skew_antisymmetry_and_triangle(scenario):
+    ex, _ = run_scenario(scenario)
+    t = ex.duration
+    nodes = list(ex.topology.nodes)[:4]
+    for i in nodes:
+        for j in nodes:
+            assert abs(ex.skew(i, j, t) + ex.skew(j, i, t)) < 1e-9
+    # Skew is a difference of potentials: it telescopes (up to float).
+    if len(nodes) >= 3:
+        a, b, c = nodes[:3]
+        assert abs(
+            ex.skew(a, c, t) - (ex.skew(a, b, t) + ex.skew(b, c, t))
+        ) < 1e-9

@@ -1,0 +1,129 @@
+"""Property-based tests (hypothesis) for warps and the delay oracle."""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro._constants import tau as tau_of
+from repro.gcs.add_skew import AddSkewPlan
+from repro.gcs.oracle import WarpedDelayOracle
+from repro.gcs.warps import TimeWarp
+from repro.sim.messages import HalfDistanceDelay
+
+RNG = random.Random(0)
+
+
+@st.composite
+def knee_warps(draw):
+    knee = draw(st.floats(min_value=0.0, max_value=20.0))
+    end = knee + draw(st.floats(min_value=0.5, max_value=20.0))
+    slope = draw(st.floats(min_value=0.5, max_value=1.0))
+    return TimeWarp.knee(knee, end, slope)
+
+
+@given(knee_warps(), st.floats(min_value=0.0, max_value=50.0))
+@settings(max_examples=200)
+def test_warp_inverse_roundtrip(warp, t):
+    assert abs(warp.inverse(warp(t)) - t) <= 1e-7 * max(1.0, t)
+
+
+@given(knee_warps(), st.floats(min_value=0.0, max_value=50.0),
+       st.floats(min_value=1e-3, max_value=10.0))
+@settings(max_examples=200)
+def test_warp_strictly_increasing(warp, t, dt):
+    assert warp(t + dt) > warp(t)
+
+
+@given(knee_warps(), st.floats(min_value=0.0, max_value=50.0))
+@settings(max_examples=200)
+def test_warp_compresses_never_expands(warp, t):
+    # Slopes <= 1 beyond the knee, identity before: psi(t) <= t.
+    assert warp(t) <= t + 1e-9
+
+
+@st.composite
+def plans(draw):
+    n = draw(st.integers(min_value=3, max_value=12))
+    i = draw(st.integers(min_value=0, max_value=n - 2))
+    j = draw(st.integers(min_value=i + 1, max_value=n - 1))
+    rho = draw(st.sampled_from([0.25, 0.5]))
+    slack = draw(st.floats(min_value=0.0, max_value=10.0))
+    duration = tau_of(rho) * (j - i) + slack
+    lead = draw(st.sampled_from(["lo", "hi"]))
+    return AddSkewPlan(
+        i=i, j=j, n=n, alpha_duration=duration, rho=rho, lead=lead
+    )
+
+
+@given(plans())
+@settings(max_examples=150)
+def test_plan_window_invariants(plan):
+    assert plan.window_start >= -1e-9
+    assert plan.window_start < plan.beta_end <= plan.window_end
+    assert plan.beta_end < plan.window_end  # strict: time is saved
+    # Window shrink at least span/6 (Claim 6.5's computation).
+    assert (plan.window_end - plan.beta_end) >= plan.span / 6.0 - 1e-9
+
+
+@given(plans())
+@settings(max_examples=150)
+def test_plan_knees_ordered_toward_laggard(plan):
+    knees = [plan.knee_time(k) for k in range(plan.n)]
+    if plan.lead == "lo":
+        assert knees == sorted(knees)
+    else:
+        assert knees == sorted(knees, reverse=True)
+    for k in knees:
+        assert plan.window_start - 1e-9 <= k <= plan.beta_end + 1e-9
+
+
+@given(plans())
+@settings(max_examples=100)
+def test_leader_warp_lands_on_beta_end(plan):
+    # The leader is sped for the whole window: psi(T) == T'.
+    warp = plan.warp(plan.leader)
+    assert abs(warp(plan.window_end) - plan.beta_end) <= 1e-9
+
+
+@given(
+    plans(),
+    st.floats(min_value=0.0, max_value=1.0),
+    st.integers(min_value=0, max_value=10),
+)
+@settings(max_examples=200)
+def test_oracle_delays_always_legal(plan, frac, pair_offset):
+    """Every delay the oracle produces lies in [0, d] — the model band."""
+    oracle = WarpedDelayOracle(
+        base=HalfDistanceDelay(),
+        warps=plan.warps(),
+        window_start=plan.window_start,
+        window_end=plan.window_end,
+        beta_end=plan.beta_end,
+    )
+    sender = pair_offset % plan.n
+    receiver = (pair_offset + 1) % plan.n
+    if sender == receiver:
+        return
+    distance = abs(sender - receiver)
+    send_time = frac * plan.beta_end
+    delay = oracle.delay(sender, receiver, send_time, float(distance), 0, RNG)
+    assert -1e-9 <= delay <= distance + 1e-9
+
+
+@given(plans(), st.floats(min_value=0.0, max_value=1.0))
+@settings(max_examples=200)
+def test_oracle_window_delays_in_lemma_band(plan, frac):
+    """Delays of adjacent-pair messages received in the window lie in
+    [d/4, 3d/4] (Claim 6.4)."""
+    oracle = WarpedDelayOracle(
+        base=HalfDistanceDelay(),
+        warps=plan.warps(),
+        window_start=plan.window_start,
+        window_end=plan.window_end,
+        beta_end=plan.beta_end,
+    )
+    sender = min(plan.i, plan.n - 2)
+    receiver = sender + 1
+    send_time = frac * plan.beta_end
+    delay = oracle.delay(sender, receiver, send_time, 1.0, 0, RNG)
+    assert 0.25 - 1e-9 <= delay <= 0.75 + 1e-9

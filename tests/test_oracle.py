@@ -1,0 +1,145 @@
+"""Tests for the WarpedDelayOracle (gcs.oracle) against hand-computed values."""
+
+import random
+
+import pytest
+
+from repro._constants import gamma as gamma_of, tau as tau_of
+from repro.errors import ScheduleError
+from repro.gcs.add_skew import AddSkewPlan
+from repro.gcs.oracle import WarpedDelayOracle
+from repro.sim.messages import HalfDistanceDelay
+
+RNG = random.Random(0)
+RHO = 0.5
+
+
+@pytest.fixture()
+def plan():
+    # Line of 9 nodes, pair (0, 8), alpha duration tau * 8 = 16.
+    return AddSkewPlan(
+        i=0, j=8, n=9, alpha_duration=16.0, rho=RHO, lead="lo"
+    )
+
+
+@pytest.fixture()
+def oracle(plan):
+    return WarpedDelayOracle(
+        base=HalfDistanceDelay(),
+        warps=plan.warps(),
+        window_start=plan.window_start,
+        window_end=plan.window_end,
+        beta_end=plan.beta_end,
+    )
+
+
+class TestConstruction:
+    def test_rejects_bad_window(self, plan):
+        with pytest.raises(ScheduleError):
+            WarpedDelayOracle(
+                base=HalfDistanceDelay(),
+                warps=plan.warps(),
+                window_start=5.0,
+                window_end=5.0,
+                beta_end=5.0,
+            )
+
+    def test_rejects_beta_end_outside_window(self, plan):
+        with pytest.raises(ScheduleError):
+            WarpedDelayOracle(
+                base=HalfDistanceDelay(),
+                warps=plan.warps(),
+                window_start=0.0,
+                window_end=16.0,
+                beta_end=17.0,
+            )
+
+
+class TestRegions:
+    def test_extension_sends_get_half(self, plan, oracle):
+        d = oracle.delay(3, 4, plan.beta_end + 1.0, 1.0, 0, RNG)
+        assert d == pytest.approx(0.5)
+
+    def test_window_delay_matches_warp_formula(self, plan, oracle):
+        # Node 0 is fully sped up (knee at S=0); node 8 never (identity
+        # until T').  A message 0 -> 1 sent at beta time s:
+        sender, receiver = 0, 1
+        s_beta = 2.0
+        psi_s = plan.warp(sender)
+        psi_r = plan.warp(receiver)
+        s_alpha = psi_s.inverse(s_beta)
+        expected = psi_r(s_alpha + 0.5) - s_beta
+        got = oracle.delay(sender, receiver, s_beta, 1.0, 0, RNG)
+        assert got == pytest.approx(expected)
+
+    def test_window_delays_within_lemma_band(self, plan, oracle):
+        # Claim 6.4: all warped delays lie in [d/4, 3d/4].
+        for sender in range(8):
+            receiver = sender + 1
+            for s_beta in (0.5, 3.0, 7.0, 11.0, plan.beta_end - 0.6):
+                d = oracle.delay(sender, receiver, s_beta, 1.0, 0, RNG)
+                assert 0.25 - 1e-9 <= d <= 0.75 + 1e-9
+                d = oracle.delay(receiver, sender, s_beta, 1.0, 1, RNG)
+                assert 0.25 - 1e-9 <= d <= 0.75 + 1e-9
+
+    def test_monotone_delivery(self, plan, oracle):
+        # Receive times must be nondecreasing in send times (no causality
+        # violation introduced by the warp).
+        for sender, receiver in ((0, 1), (4, 5), (7, 6)):
+            times = [0.5, 2.0, 5.0, 9.0, 12.0]
+            arrivals = [
+                s + oracle.delay(sender, receiver, s, 1.0, 0, RNG)
+                for s in times
+            ]
+            assert arrivals == sorted(arrivals)
+
+
+class TestPrefixDelegation:
+    def test_prefix_receive_uses_base(self, plan):
+        # Shift the window to start at S = 8 so there is a real prefix.
+        plan2 = AddSkewPlan(
+            i=0, j=4, n=9, alpha_duration=16.0, rho=RHO, lead="lo"
+        )
+        assert plan2.window_start == pytest.approx(8.0)
+
+        class Marker:
+            def delay(self, sender, receiver, send_time, distance, seq, rng):
+                return 0.123
+
+        oracle = WarpedDelayOracle(
+            base=Marker(),
+            warps=plan2.warps(),
+            window_start=plan2.window_start,
+            window_end=plan2.window_end,
+            beta_end=plan2.beta_end,
+        )
+        # Sent early, received well before S: delegated to base.
+        assert oracle.delay(2, 3, 1.0, 1.0, 0, RNG) == 0.123
+        # Received after S: warped, not delegated.
+        assert oracle.delay(2, 3, 9.0, 1.0, 0, RNG) != 0.123
+
+
+class TestStragglers:
+    def test_sent_too_late_for_alpha_gets_half(self, plan, oracle):
+        # A message whose alpha receive would exceed T gets d/2 and must
+        # arrive after beta_end.
+        sender, receiver = 8, 7  # slow side, identity warp until T'
+        s_beta = plan.window_end - 0.2  # alpha receive at T - 0.2 + ... > T
+        s_alpha = plan.warp(sender).inverse(s_beta)
+        assert s_alpha + 0.5 > plan.window_end
+        d = oracle.delay(sender, receiver, s_beta, 1.0, 0, RNG)
+        assert d == pytest.approx(0.5)
+
+    def test_retimed_straggler_lands_after_beta_end(self, plan, oracle):
+        # Fast sender near the end of the window to a slow receiver: the
+        # retimed receive exceeds beta_end but never lands early.
+        sender, receiver = 0, 8
+        distance = 8.0
+        for s_beta in (9.0, 10.0, 11.0):
+            d = oracle.delay(sender, receiver, s_beta, distance, 0, RNG)
+            s_alpha = plan.warp(sender).inverse(s_beta)
+            if s_alpha + distance / 2 > plan.window_start:
+                arrival = s_beta + d
+                psi_r = plan.warp(receiver)
+                if psi_r(s_alpha + distance / 2) > plan.beta_end:
+                    assert arrival > plan.beta_end - 1e-9

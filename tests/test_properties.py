@@ -1,0 +1,98 @@
+"""Tests for the gradient/validity property checkers (gcs.properties)."""
+
+import math
+
+import pytest
+
+from repro.algorithms import MaxBasedAlgorithm, NullAlgorithm
+from repro.gcs.properties import (
+    GradientBound,
+    check_gradient,
+    check_validity,
+    empirical_f,
+)
+from repro.sim.rates import PiecewiseConstantRate
+from repro.sim.simulator import SimConfig, run_simulation
+from repro.topology.generators import line
+
+RHO = 0.5
+
+
+def drifted_null(n=5, duration=20.0):
+    topo = line(n)
+    rates = {n - 1: PiecewiseConstantRate.constant(1.0 + RHO)}
+    return run_simulation(
+        topo,
+        NullAlgorithm().processes(topo),
+        SimConfig(duration=duration, rho=RHO, seed=0),
+        rate_schedules=rates,
+    )
+
+
+class TestGradientBound:
+    def test_linear(self):
+        f = GradientBound.linear(2.0, 1.0)
+        assert f(3.0) == 7.0
+        assert "2.0*d+1.0" == f.label
+
+    def test_conjectured(self):
+        f = GradientBound.conjectured(diameter=math.e)
+        assert f(3.0) == pytest.approx(4.0)
+
+    def test_constant(self):
+        f = GradientBound.constant(5.0)
+        assert f(0.5) == f(100.0) == 5.0
+
+
+class TestCheckGradient:
+    def test_no_violations_for_generous_bound(self):
+        ex = drifted_null()
+        bound = GradientBound.linear(100.0)
+        assert check_gradient(ex, bound) == []
+
+    def test_violations_found_and_described(self):
+        ex = drifted_null()
+        bound = GradientBound.constant(1.0)
+        violations = check_gradient(ex, bound)
+        assert violations
+        v = violations[0]
+        assert v.skew > v.bound
+        assert "exceeds" in str(v)
+
+    def test_custom_times(self):
+        ex = drifted_null()
+        bound = GradientBound.constant(1.0)
+        early = check_gradient(ex, bound, times=[0.0, 0.5])
+        assert early == []  # no skew accumulated yet
+
+
+class TestEmpiricalF:
+    def test_monotone_nondecreasing(self):
+        ex = drifted_null()
+        profile = empirical_f([ex])
+        values = [profile[d] for d in sorted(profile)]
+        assert values == sorted(values)
+
+    def test_pointwise_max_over_executions(self):
+        ex1 = drifted_null(duration=10.0)
+        ex2 = drifted_null(duration=20.0)
+        combined = empirical_f([ex1, ex2])
+        solo = empirical_f([ex1])
+        for d in solo:
+            assert combined[d] >= solo[d] - 1e-9
+
+    def test_distances_match_topology(self):
+        ex = drifted_null(n=4)
+        profile = empirical_f([ex])
+        assert set(profile) == {1.0, 2.0, 3.0}
+
+
+class TestCheckValidity:
+    def test_passes_for_max_based(self):
+        topo = line(4)
+        ex = run_simulation(
+            topo,
+            MaxBasedAlgorithm().processes(topo),
+            SimConfig(duration=10.0, rho=RHO, seed=0),
+        )
+        check_validity(ex)

@@ -1,0 +1,165 @@
+"""Tests for Topology and its generators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TopologyError
+from repro.topology.base import Topology
+from repro.topology.generators import (
+    balanced_tree,
+    broadcast_cluster,
+    complete,
+    grid,
+    line,
+    random_geometric,
+    ring,
+    star,
+    two_nodes,
+)
+
+
+class TestTopologyValidation:
+    def test_rejects_asymmetric(self):
+        d = np.array([[0.0, 1.0], [2.0, 0.0]])
+        with pytest.raises(TopologyError):
+            Topology.fully_connected(d)
+
+    def test_rejects_nonzero_diagonal(self):
+        d = np.array([[1.0, 1.0], [1.0, 0.0]])
+        with pytest.raises(TopologyError):
+            Topology.fully_connected(d)
+
+    def test_rejects_sub_unit_minimum(self):
+        d = np.array([[0.0, 0.5], [0.5, 0.0]])
+        with pytest.raises(TopologyError):
+            Topology.fully_connected(d)
+
+    def test_accepts_above_unit_minimum(self):
+        # The unit is a floor: two nodes at distance 2 are expressible.
+        d = np.array([[0.0, 2.0], [2.0, 0.0]])
+        assert Topology.fully_connected(d).min_distance == 2.0
+
+    def test_relaxed_minimum_when_asked(self):
+        d = np.array([[0.0, 0.5], [0.5, 0.0]])
+        topo = Topology(
+            d, frozenset({(0, 1)}), require_unit_min=False
+        )
+        assert topo.min_distance == 0.5
+
+    def test_rejects_single_node(self):
+        with pytest.raises(TopologyError):
+            Topology.fully_connected(np.zeros((1, 1)))
+
+    def test_rejects_bad_edge(self):
+        d = np.array([[0.0, 1.0], [1.0, 0.0]])
+        with pytest.raises(TopologyError):
+            Topology(d, frozenset({(0, 5)}))
+
+    def test_radius_isolation_detected(self):
+        d = np.array(
+            [[0.0, 1.0, 10.0], [1.0, 0.0, 10.0], [10.0, 10.0, 0.0]]
+        )
+        with pytest.raises(TopologyError):
+            Topology.with_radius(d, 1.0)
+
+
+class TestTopologyQueries:
+    def test_line_basics(self):
+        topo = line(5)
+        assert topo.n == 5
+        assert topo.diameter == 4.0
+        assert topo.min_distance == 1.0
+        assert topo.distance(0, 3) == 3.0
+
+    def test_neighbors_radius_one(self):
+        topo = line(5)
+        assert topo.neighbors(0) == [1]
+        assert topo.neighbors(2) == [1, 3]
+
+    def test_neighbors_radius_two(self):
+        topo = line(5, comm_radius=2.0)
+        assert topo.neighbors(2) == [0, 1, 3, 4]
+
+    def test_degree_and_max_degree(self):
+        topo = line(5)
+        assert topo.degree(0) == 1
+        assert topo.max_degree == 2
+
+    def test_pairs_count(self):
+        topo = line(5)
+        assert len(list(topo.pairs())) == 10
+
+    def test_adjacent_pairs(self):
+        topo = line(4)
+        assert topo.adjacent_pairs() == [(0, 1), (1, 2), (2, 3)]
+
+    def test_pairs_at_distance(self):
+        topo = line(4)
+        assert topo.pairs_at_distance(3.0) == [(0, 3)]
+
+    def test_comm_pairs_sorted(self):
+        topo = line(4)
+        assert topo.comm_pairs() == [(0, 1), (1, 2), (2, 3)]
+
+
+class TestGenerators:
+    def test_line_rejects_tiny(self):
+        with pytest.raises(TopologyError):
+            line(1)
+
+    def test_ring_wraps(self):
+        topo = ring(6)
+        assert topo.distance(0, 5) == 1.0
+        assert topo.distance(0, 3) == 3.0
+        assert topo.diameter == 3.0
+
+    def test_grid_manhattan(self):
+        topo = grid(3, 4)
+        assert topo.n == 12
+        assert topo.distance(0, 11) == 2 + 3
+        assert topo.positions is not None
+
+    def test_complete_uniform(self):
+        topo = complete(5, distance=1.0)
+        assert topo.diameter == 1.0
+        assert all(topo.distance(i, j) == 1.0 for i, j in topo.pairs())
+
+    def test_star_shape(self):
+        topo = star(4)
+        assert topo.n == 5
+        assert topo.distance(0, 3) == 1.0
+        assert topo.distance(1, 2) == 2.0
+        assert topo.neighbors(0) == [1, 2, 3, 4]
+
+    def test_balanced_tree(self):
+        topo = balanced_tree(2, 2)  # 7 nodes
+        assert topo.n == 7
+        assert topo.distance(0, 1) == 1.0
+        # two leaves under different children of the root: distance 4
+        assert topo.distance(3, 6) == 4.0
+
+    def test_balanced_tree_rejects_bad_params(self):
+        with pytest.raises(TopologyError):
+            balanced_tree(1, 2)
+
+    def test_random_geometric_normalized(self):
+        topo = random_geometric(12, seed=3)
+        assert topo.min_distance == pytest.approx(1.0)
+        assert topo.positions is not None
+        # deterministic for a seed
+        again = random_geometric(12, seed=3)
+        assert np.allclose(topo.distances, again.distances)
+
+    def test_broadcast_cluster_tiny_uncertainty(self):
+        topo = broadcast_cluster(6, uncertainty=0.01)
+        assert topo.diameter == pytest.approx(0.01)
+        assert not topo.require_unit_min
+
+    def test_two_nodes(self):
+        topo = two_nodes(5.0)
+        assert topo.n == 2
+        assert topo.diameter == 5.0
+
+    def test_two_nodes_rejects_below_unit(self):
+        with pytest.raises(TopologyError):
+            two_nodes(0.5)
