@@ -1,0 +1,110 @@
+"""Sweep engine throughput: serial vs parallel, cold vs cached.
+
+Run with pytest (``python -m pytest benchmarks/bench_sweep.py -s``) or
+directly (``python benchmarks/bench_sweep.py``).  Two measurements:
+
+* **serial vs parallel** — the same grid at 1 worker and at 4 workers.
+  On a machine with >= 4 usable cores the parallel run must be >= 2x
+  faster; on smaller machines (CI containers are often 1-core) the
+  speedup is reported but only sanity-checked, since no amount of
+  forking buys throughput the hardware doesn't have.
+* **cold vs warm cache** — the same grid against an empty and then a
+  populated result cache; the warm run must be much faster and must
+  reproduce the cold run's metrics exactly.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import tempfile
+import time
+
+from repro.analysis.reporting import Table
+from repro.sweep import ResultCache, SweepSpec, run_jobs
+
+PARALLEL_WORKERS = 4
+REQUIRED_SPEEDUP = 2.0
+
+#: Jobs sized so each takes an appreciable fraction of a second —
+#: fork/IPC overhead must be amortized for the speedup to be honest.
+BENCH_SPEC = SweepSpec(
+    name="bench",
+    topologies=("line:11", "ring:12"),
+    algorithms=("max-based:0.5", "bounded-catch-up:0.5"),
+    rate_families=("drifted", "wandering"),
+    delay_policies=("uniform",),
+    seeds=(0,),
+    duration=150.0,
+    rho=0.2,
+    step=0.5,
+)
+
+
+def usable_cores() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def _timed(**kwargs) -> tuple[float, list]:
+    start = time.perf_counter()
+    outcomes = run_jobs(BENCH_SPEC.jobs(), **kwargs)
+    return time.perf_counter() - start, outcomes
+
+
+def test_parallel_speedup():
+    serial_s, serial = _timed(workers=1)
+    parallel_s, parallel = _timed(workers=PARALLEL_WORKERS)
+    speedup = serial_s / parallel_s
+    cores = usable_cores()
+
+    table = Table(
+        title=f"bench_sweep: {BENCH_SPEC.size} jobs, serial vs {PARALLEL_WORKERS} workers",
+        headers=["mode", "workers", "seconds", "jobs/s", "speedup"],
+        caption=f"{cores} usable core(s); required speedup {REQUIRED_SPEEDUP}x "
+        f"enforced when cores >= {PARALLEL_WORKERS}.",
+    )
+    table.add_row("serial", 1, serial_s, BENCH_SPEC.size / serial_s, 1.0)
+    table.add_row(
+        "parallel", PARALLEL_WORKERS, parallel_s, BENCH_SPEC.size / parallel_s, speedup
+    )
+    print("\n" + table.render())
+
+    # Determinism is non-negotiable at any core count.
+    assert [o.metrics for o in parallel] == [o.metrics for o in serial]
+    if cores >= PARALLEL_WORKERS:
+        assert speedup >= REQUIRED_SPEEDUP, (
+            f"parallel sweep only {speedup:.2f}x faster on {cores} cores"
+        )
+    else:
+        # Can't manufacture cores; just require the pool not to choke.
+        assert speedup > 0.3, f"pool overhead pathological: {speedup:.2f}x"
+
+
+def test_cache_speedup():
+    with tempfile.TemporaryDirectory() as tmp:
+        cold_s, cold = _timed(workers=1, cache=ResultCache(tmp))
+        warm_cache = ResultCache(tmp)
+        warm_s, warm = _timed(workers=1, cache=warm_cache)
+
+    table = Table(
+        title=f"bench_sweep: cold vs warm cache ({BENCH_SPEC.size} jobs)",
+        headers=["mode", "seconds", "hits", "speedup"],
+        caption="Warm runs replay metrics from disk without simulating.",
+    )
+    table.add_row("cold", cold_s, 0, 1.0)
+    table.add_row("warm", warm_s, warm_cache.hits, cold_s / warm_s)
+    print("\n" + table.render())
+
+    assert warm_cache.hits == BENCH_SPEC.size
+    assert [o.metrics for o in warm] == [o.metrics for o in cold]
+    assert cold_s / warm_s >= 2.0, "cache recall should dominate re-simulating"
+
+
+if __name__ == "__main__":  # pragma: no cover
+    test_parallel_speedup()
+    test_cache_speedup()
+    print("\nbench_sweep: ok")
+    sys.exit(0)

@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# CI smoke: tier-1 tests, then one quick-scale parallel sweep end-to-end,
+# then the sweep-engine benchmark (serial-vs-parallel + cache recall).
+#
+# Usage: bash scripts/ci_smoke.sh
+# Documented in README.md ("Tests and benchmarks").
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+echo "== tier-1: full test suite =="
+python -m pytest -x -q
+
+echo
+echo "== quick-scale parallel sweep (end-to-end) =="
+ARTIFACTS="$(mktemp -d)"
+trap 'rm -rf "$ARTIFACTS"' EXIT
+python -m repro.experiments sweep --quick --seeds 1 --duration 10 \
+    --workers 2 --cache-dir "$ARTIFACTS/cache" --json-out "$ARTIFACTS/sweep.json"
+# Re-run against the warm cache: must be all hits.
+python -m repro.experiments sweep --quick --seeds 1 --duration 10 \
+    --workers 2 --cache-dir "$ARTIFACTS/cache" | grep -q "0 miss(es)" \
+    || { echo "error: warm sweep re-ran jobs instead of hitting the cache" >&2; exit 1; }
+
+echo
+echo "== sweep engine benchmark =="
+python benchmarks/bench_sweep.py
+
+echo
+echo "ci_smoke: all green"

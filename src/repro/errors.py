@@ -55,3 +55,7 @@ class ConstructionError(ReproError):
 
 class ExperimentError(ReproError):
     """An experiment was asked to run with unusable parameters."""
+
+
+class SweepError(ReproError):
+    """A scenario sweep is malformed (unknown spec names, bad grid, ...)."""

@@ -6,6 +6,7 @@ same runners, and ``python -m repro.experiments E02`` runs one from the
 command line.
 """
 
+import inspect
 from typing import Callable
 
 from repro.errors import ExperimentError
@@ -43,6 +44,13 @@ REGISTRY: dict[str, Callable[..., ExperimentResult]] = {
 }
 
 
+#: Uniform CLI options a runner may legitimately not declare (e.g.
+#: ``workers`` for experiments not ported to the sweep engine).  Only
+#: these are dropped when unsupported — a misspelled ``rho``/``seed``
+#: still raises TypeError instead of silently running with defaults.
+_OPTIONAL_KWARGS = frozenset({"workers"})
+
+
 def run_experiment(experiment_id: str, scale: str = "quick", **kwargs) -> ExperimentResult:
     """Run one experiment by id (case-insensitive)."""
     key = experiment_id.upper()
@@ -50,4 +58,12 @@ def run_experiment(experiment_id: str, scale: str = "quick", **kwargs) -> Experi
         raise ExperimentError(
             f"unknown experiment {experiment_id!r}; have {sorted(REGISTRY)}"
         )
-    return REGISTRY[key](scale, **kwargs)
+    runner = REGISTRY[key]
+    accepted = inspect.signature(runner).parameters
+    if not any(p.kind is p.VAR_KEYWORD for p in accepted.values()):
+        kwargs = {
+            k: v
+            for k, v in kwargs.items()
+            if k in accepted or k not in _OPTIONAL_KWARGS
+        }
+    return runner(scale, **kwargs)

@@ -1,4 +1,12 @@
-"""Command-line entry point: ``python -m repro.experiments [ids]``."""
+"""Command-line entry point: ``python -m repro.experiments [ids|sweep]``.
+
+Two verbs share the entry point: bare experiment ids (``E01``..``E12``)
+run individual reproductions, and ``sweep`` dispatches to the parallel
+scenario-sweep engine (see :mod:`repro.sweep.cli`)::
+
+    python -m repro.experiments E03 E05 --workers 4
+    python -m repro.experiments sweep --quick --workers 4
+"""
 
 from __future__ import annotations
 
@@ -6,25 +14,32 @@ import argparse
 import sys
 import time
 
-from repro.errors import ExperimentError
+from repro.errors import ExperimentError, SweepError
 from repro.experiments import REGISTRY, run_experiment
 
 __all__ = ["main"]
 
 
 def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    if argv and argv[0] == "sweep":
+        from repro.sweep.cli import main as sweep_main
+
+        return sweep_main(argv[1:])
+
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
         description=(
             "Run reproduction experiments for 'Gradient Clock "
-            "Synchronization' (Fan & Lynch, PODC 2004)."
+            "Synchronization' (Fan & Lynch, PODC 2004).  Use the 'sweep' "
+            "verb for parallel scenario grids."
         ),
     )
     parser.add_argument(
         "ids",
         nargs="*",
         metavar="ID",
-        help="experiment ids (E01..E11); default: all",
+        help="experiment ids (E01..E12), or 'sweep'; default: all",
     )
     parser.add_argument(
         "--scale",
@@ -33,6 +48,12 @@ def main(argv: list[str] | None = None) -> int:
         help="parameter scale (full matches EXPERIMENTS.md)",
     )
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes for sweep-engine experiments (e.g. E05)",
+    )
     parser.add_argument(
         "--list", action="store_true", help="list experiments and exit"
     )
@@ -45,11 +66,20 @@ def main(argv: list[str] | None = None) -> int:
         return 0
 
     ids = [i.upper() for i in args.ids] or sorted(REGISTRY)
+    if "SWEEP" in ids:
+        print(
+            "error: the 'sweep' verb must come first: "
+            "python -m repro.experiments sweep [sweep options]",
+            file=sys.stderr,
+        )
+        return 2
     for experiment_id in ids:
         start = time.time()
         try:
-            result = run_experiment(experiment_id, args.scale, seed=args.seed)
-        except ExperimentError as exc:
+            result = run_experiment(
+                experiment_id, args.scale, seed=args.seed, workers=args.workers
+            )
+        except (ExperimentError, SweepError) as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
         print(result.render())

@@ -1,15 +1,23 @@
-"""Shared infrastructure for the E01-E11 experiment runners."""
+"""Shared infrastructure for the E01-E12 experiment runners.
+
+The benign rate families (:func:`drifted_rates`, :func:`spread_rates`,
+:func:`wandering_rates`) now live in :mod:`repro.sweep.families` — the
+sweep engine's registry of named scenario ingredients — and are
+re-exported here so experiment code keeps a single import site.
+"""
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass, field
 
 from repro._constants import DEFAULT_RHO
 from repro.analysis.reporting import Table
 from repro.errors import ExperimentError
-from repro.sim.rates import PiecewiseConstantRate
-from repro.topology.base import Topology
+from repro.sweep.families import (  # noqa: F401  (re-exported API)
+    drifted_rates,
+    spread_rates,
+    wandering_rates,
+)
 
 __all__ = [
     "ExperimentResult",
@@ -51,61 +59,6 @@ class ExperimentResult:
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return self.render()
-
-
-def drifted_rates(
-    topology: Topology, *, rho: float = DEFAULT_RHO, seed: int = 0
-) -> dict[int, PiecewiseConstantRate]:
-    """Seeded random constant rates inside the drift band — a benign but
-    heterogeneous network (every real deployment looks like this)."""
-    rng = random.Random(seed ^ 0xD81F7)
-    return {
-        node: PiecewiseConstantRate.constant(rng.uniform(1.0 - rho, 1.0 + rho))
-        for node in topology.nodes
-    }
-
-
-def wandering_rates(
-    topology: Topology,
-    *,
-    rho: float = DEFAULT_RHO,
-    horizon: float,
-    interval: float = 5.0,
-    seed: int = 0,
-) -> dict[int, PiecewiseConstantRate]:
-    """Time-varying drift: each node's rate random-walks inside the band.
-
-    The most realistic benign setting — oscillators wander with
-    temperature — while staying within Assumption 1.
-    """
-    from repro.sim.rates import random_walk_schedule
-
-    return {
-        node: random_walk_schedule(
-            rho=rho,
-            horizon=horizon,
-            interval=interval,
-            seed=(seed * 7919) ^ node,
-        )
-        for node in topology.nodes
-    }
-
-
-def spread_rates(
-    topology: Topology, *, rho: float = DEFAULT_RHO
-) -> dict[int, PiecewiseConstantRate]:
-    """Deterministic linear spread of rates across node indices.
-
-    Node 0 runs slowest (``1 - rho``), the last node fastest
-    (``1 + rho``) — the worst benign arrangement for a line network.
-    """
-    n = topology.n
-    return {
-        node: PiecewiseConstantRate.constant(
-            1.0 - rho + 2.0 * rho * (node / max(n - 1, 1))
-        )
-        for node in topology.nodes
-    }
 
 
 def pick(scale: Scale, quick, full):

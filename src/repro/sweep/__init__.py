@@ -1,0 +1,82 @@
+"""repro.sweep — the parallel scenario-sweep engine.
+
+Everything one simulator run can tell you, this package asks at grid
+scale: a declarative :class:`SweepSpec` (topologies x algorithms x rate
+families x delay policies x seeds) expands into independent, picklable
+:class:`Job` cells, a :func:`run_jobs` pool fans them across processes
+with deterministic per-job seeding (identical metrics at any worker
+count), and the aggregate layer folds the metrics back into the same
+``Table``/``ExperimentResult`` shapes the E01..E12 experiments print.
+Results cache on disk keyed by job content hash, so re-running a grid
+costs only the cells that changed.
+
+Layering: ``sweep`` depends on ``sim``/``topology``/``algorithms``/
+``analysis`` only; ``repro.experiments`` builds on ``sweep`` (not the
+other way around).
+"""
+
+from repro.sweep.aggregate import (
+    seed_table,
+    summary_table,
+    sweep_result,
+    to_json_payload,
+    write_json,
+)
+from repro.sweep.families import (
+    ALGORITHM_KINDS,
+    DELAY_POLICIES,
+    RATE_FAMILIES,
+    TOPOLOGY_KINDS,
+    algorithm_from_spec,
+    delay_policy_from_spec,
+    drifted_rates,
+    rates_from_spec,
+    spread_rates,
+    topology_from_spec,
+    wandering_rates,
+)
+from repro.sweep.jobs import (
+    CACHE_VERSION,
+    Job,
+    JobOutcome,
+    execute_job,
+    job_hash,
+    job_kind,
+)
+from repro.sweep.runner import ResultCache, run_jobs
+from repro.sweep.spec import SweepSpec, full_spec, quick_spec
+
+__all__ = [
+    # spec
+    "SweepSpec",
+    "quick_spec",
+    "full_spec",
+    # jobs
+    "Job",
+    "JobOutcome",
+    "job_kind",
+    "job_hash",
+    "execute_job",
+    "CACHE_VERSION",
+    # runner
+    "ResultCache",
+    "run_jobs",
+    # aggregation
+    "summary_table",
+    "seed_table",
+    "sweep_result",
+    "to_json_payload",
+    "write_json",
+    # families
+    "TOPOLOGY_KINDS",
+    "ALGORITHM_KINDS",
+    "RATE_FAMILIES",
+    "DELAY_POLICIES",
+    "topology_from_spec",
+    "algorithm_from_spec",
+    "rates_from_spec",
+    "delay_policy_from_spec",
+    "drifted_rates",
+    "spread_rates",
+    "wandering_rates",
+]

@@ -1,0 +1,153 @@
+"""The ``sweep`` verb of the experiments CLI.
+
+``python -m repro.experiments sweep --quick --workers 4`` expands a
+preset (or user-supplied) grid, fans it across a worker pool, prints the
+aggregated tables, and optionally writes a JSON artifact and warms an
+on-disk cache.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+from repro.errors import SweepError
+from repro.sweep.aggregate import sweep_result, to_json_payload, write_json
+from repro.sweep.runner import ResultCache, run_jobs
+from repro.sweep.spec import SweepSpec, full_spec, quick_spec
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments sweep",
+        description="Run a parallel grid of benign scenarios.",
+    )
+    scale = parser.add_mutually_exclusive_group()
+    scale.add_argument("--quick", action="store_true", help="small CI grid (default)")
+    scale.add_argument("--full", action="store_true", help="writeup-scale grid")
+    scale.add_argument(
+        "--spec", metavar="FILE", help="JSON file with SweepSpec fields"
+    )
+    parser.add_argument(
+        "--topologies", help="comma-separated topology specs (override preset)"
+    )
+    parser.add_argument(
+        "--algorithms", help="comma-separated algorithm specs (override preset)"
+    )
+    parser.add_argument(
+        "--rates", help="comma-separated rate families (override preset)"
+    )
+    parser.add_argument(
+        "--delays", help="comma-separated delay policies (override preset)"
+    )
+    parser.add_argument("--seeds", type=int, help="number of seeds per cell")
+    parser.add_argument("--duration", type=float, help="run length (real time)")
+    parser.add_argument("--rho", type=float, help="drift bound")
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=max(os.cpu_count() or 1, 1),
+        help="worker processes (default: CPU count; 1 = serial)",
+    )
+    parser.add_argument(
+        "--cache-dir", metavar="DIR", help="reuse results cached under DIR"
+    )
+    parser.add_argument(
+        "--json-out", metavar="FILE", help="write the full artifact as JSON"
+    )
+    parser.add_argument(
+        "--per-job", action="store_true", help="also print the per-job grid"
+    )
+    return parser
+
+
+def _resolve_spec(args: argparse.Namespace) -> SweepSpec:
+    if args.spec:
+        with open(args.spec) as handle:
+            spec = SweepSpec.from_dict(json.load(handle))
+    elif args.full:
+        spec = full_spec()
+    else:
+        spec = quick_spec()
+
+    overrides: dict = {}
+    for flag, axis in (
+        ("topologies", "topologies"),
+        ("algorithms", "algorithms"),
+        ("rates", "rate_families"),
+        ("delays", "delay_policies"),
+    ):
+        value = getattr(args, flag)
+        if value:
+            overrides[axis] = tuple(s.strip() for s in value.split(",") if s.strip())
+    if args.seeds is not None:
+        overrides["seeds"] = tuple(range(args.seeds))
+    if args.duration is not None:
+        overrides["duration"] = args.duration
+    if args.rho is not None:
+        overrides["rho"] = args.rho
+    if overrides:
+        payload = json.loads(spec.to_json())
+        payload.update(overrides)
+        spec = SweepSpec.from_dict(payload)
+    return spec
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        spec = _resolve_spec(args)
+        jobs = spec.jobs()
+    except (OSError, json.JSONDecodeError, SweepError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    cache = ResultCache(args.cache_dir) if args.cache_dir else None
+    print(
+        f"sweep '{spec.name}': {len(jobs)} jobs "
+        f"({len(spec.topologies)} topologies x {len(spec.algorithms)} algorithms "
+        f"x {len(spec.rate_families)} rate families x "
+        f"{len(spec.delay_policies)} delay policies x {len(spec.seeds)} seeds), "
+        f"{args.workers} worker(s)"
+    )
+    start = time.perf_counter()
+    try:
+        outcomes = run_jobs(jobs, workers=args.workers, cache=cache)
+    except SweepError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    elapsed = time.perf_counter() - start
+
+    cache_stats = (
+        {"hits": cache.hits, "misses": cache.misses, "dir": str(cache.directory)}
+        if cache
+        else {}
+    )
+    notes = [f"{len(outcomes)} jobs in {elapsed:.2f}s at {args.workers} worker(s)"]
+    if cache:
+        notes.append(
+            f"cache: {cache.hits} hit(s), {cache.misses} miss(es) "
+            f"under {cache.directory}"
+        )
+    result = sweep_result(
+        spec, outcomes, include_seed_rows=args.per_job, notes=notes
+    )
+    print(result.render())
+
+    if args.json_out:
+        payload = to_json_payload(
+            spec, outcomes, workers=args.workers, elapsed=elapsed,
+            cache_stats=cache_stats,
+        )
+        path = write_json(args.json_out, payload)
+        print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

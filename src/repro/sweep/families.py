@@ -1,0 +1,260 @@
+"""Named scenario families: compact strings -> simulator ingredients.
+
+A sweep job must be (a) picklable, so it can cross a process boundary,
+and (b) canonically hashable, so identical jobs share a cache entry.
+Live objects (``Topology``, ``SyncAlgorithm``, delay policies) are
+neither, so sweep grids are declared with compact *spec strings* --
+``"line:9"``, ``"max-based:0.5"``, ``"uniform:0.25,0.75"`` -- and this
+module owns the registries that turn those strings back into objects
+inside whichever process runs the job.
+
+The rate-family helpers (:func:`drifted_rates`, :func:`spread_rates`,
+:func:`wandering_rates`) live here too; :mod:`repro.experiments.common`
+re-exports them so existing experiment code keeps working.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict
+
+from repro._constants import DEFAULT_RHO
+from repro.algorithms import (
+    AveragingAlgorithm,
+    BoundedCatchUpAlgorithm,
+    ExternalSyncAlgorithm,
+    MaxBasedAlgorithm,
+    NullAlgorithm,
+    SlewingMaxAlgorithm,
+    SrikanthTouegAlgorithm,
+    SyncAlgorithm,
+)
+from repro.errors import SweepError
+from repro.sim.messages import (
+    DelayPolicy,
+    FixedFractionDelay,
+    HalfDistanceDelay,
+    JitterDelay,
+    UniformRandomDelay,
+)
+from repro.sim.rates import PiecewiseConstantRate, random_walk_schedule
+from repro.topology import generators
+from repro.topology.base import Topology
+
+__all__ = [
+    "drifted_rates",
+    "spread_rates",
+    "wandering_rates",
+    "topology_from_spec",
+    "algorithm_from_spec",
+    "rates_from_spec",
+    "delay_policy_from_spec",
+    "TOPOLOGY_KINDS",
+    "ALGORITHM_KINDS",
+    "RATE_FAMILIES",
+    "DELAY_POLICIES",
+]
+
+
+# ----------------------------------------------------------------------
+# rate families (moved from repro.experiments.common)
+
+
+def drifted_rates(
+    topology: Topology, *, rho: float = DEFAULT_RHO, seed: int = 0
+) -> dict[int, PiecewiseConstantRate]:
+    """Seeded random constant rates inside the drift band — a benign but
+    heterogeneous network (every real deployment looks like this)."""
+    rng = random.Random(seed ^ 0xD81F7)
+    return {
+        node: PiecewiseConstantRate.constant(rng.uniform(1.0 - rho, 1.0 + rho))
+        for node in topology.nodes
+    }
+
+
+def wandering_rates(
+    topology: Topology,
+    *,
+    rho: float = DEFAULT_RHO,
+    horizon: float,
+    interval: float = 5.0,
+    seed: int = 0,
+) -> dict[int, PiecewiseConstantRate]:
+    """Time-varying drift: each node's rate random-walks inside the band.
+
+    The most realistic benign setting — oscillators wander with
+    temperature — while staying within Assumption 1.
+    """
+    return {
+        node: random_walk_schedule(
+            rho=rho,
+            horizon=horizon,
+            interval=interval,
+            seed=(seed * 7919) ^ node,
+        )
+        for node in topology.nodes
+    }
+
+
+def spread_rates(
+    topology: Topology, *, rho: float = DEFAULT_RHO
+) -> dict[int, PiecewiseConstantRate]:
+    """Deterministic linear spread of rates across node indices.
+
+    Node 0 runs slowest (``1 - rho``), the last node fastest
+    (``1 + rho``) — the worst benign arrangement for a line network.
+    """
+    n = topology.n
+    return {
+        node: PiecewiseConstantRate.constant(
+            1.0 - rho + 2.0 * rho * (node / max(n - 1, 1))
+        )
+        for node in topology.nodes
+    }
+
+
+# ----------------------------------------------------------------------
+# spec-string parsing
+
+
+def _split(spec: str) -> tuple[str, list[str]]:
+    head, _, tail = spec.partition(":")
+    return head.strip(), [p for p in tail.split(",") if p] if tail else []
+
+
+def _int_args(spec: str, args: list[str], count: int) -> list[int]:
+    if len(args) != count:
+        raise SweepError(f"{spec!r} needs {count} integer argument(s)")
+    try:
+        return [int(a) for a in args]
+    except ValueError as exc:
+        raise SweepError(f"{spec!r}: non-integer argument") from exc
+
+
+#: kind -> builder(args) for topology spec strings such as ``line:9``,
+#: ``grid:3,4``, ``tree:2,3`` (branching, height), ``geometric:16,7``
+#: (n, seed).
+TOPOLOGY_KINDS: Dict[str, Callable[..., Topology]] = {
+    "line": lambda n: generators.line(n),
+    "ring": lambda n: generators.ring(n),
+    "grid": lambda rows, cols: generators.grid(rows, cols),
+    "complete": lambda n: generators.complete(n),
+    "star": lambda n_leaves: generators.star(n_leaves),
+    "tree": lambda branching, height: generators.balanced_tree(branching, height),
+    "geometric": lambda n, seed=0: generators.random_geometric(n, seed=seed),
+    "cluster": lambda n: generators.broadcast_cluster(n),
+}
+
+_TOPOLOGY_ARITY = {
+    "line": (1, 1),
+    "ring": (1, 1),
+    "grid": (2, 2),
+    "complete": (1, 1),
+    "star": (1, 1),
+    "tree": (2, 2),
+    "geometric": (1, 2),
+    "cluster": (1, 1),
+}
+
+
+def topology_from_spec(spec: str) -> Topology:
+    """Build a topology from a compact spec string, e.g. ``"grid:3,4"``."""
+    kind, args = _split(spec)
+    if kind not in TOPOLOGY_KINDS:
+        raise SweepError(
+            f"unknown topology {spec!r}; kinds: {sorted(TOPOLOGY_KINDS)}"
+        )
+    lo, hi = _TOPOLOGY_ARITY[kind]
+    if not lo <= len(args) <= hi:
+        raise SweepError(f"{spec!r}: expected {lo}..{hi} arguments")
+    values = _int_args(spec, args, len(args)) if args else []
+    try:
+        return TOPOLOGY_KINDS[kind](*values)
+    except TypeError as exc:
+        raise SweepError(f"{spec!r}: bad arguments ({exc})") from exc
+
+
+#: name -> builder(period) for algorithm spec strings.  An optional
+#: ``:period`` suffix (hardware-time units) overrides the default 1.0,
+#: e.g. ``"max-based:0.5"``; algorithms without a period ignore it.
+ALGORITHM_KINDS: Dict[str, Callable[[float], SyncAlgorithm]] = {
+    "max-based": lambda period: MaxBasedAlgorithm(period=period),
+    "srikanth-toueg": lambda period: SrikanthTouegAlgorithm(),
+    "averaging": lambda period: AveragingAlgorithm(period=period),
+    "bounded-catch-up": lambda period: BoundedCatchUpAlgorithm(period=period),
+    "slewing-max": lambda period: SlewingMaxAlgorithm(period=period),
+    "external": lambda period: ExternalSyncAlgorithm(period=period),
+    "null": lambda period: NullAlgorithm(),
+}
+
+
+def algorithm_from_spec(spec: str) -> SyncAlgorithm:
+    """Build an algorithm from a spec string, e.g. ``"averaging:0.5"``."""
+    name, args = _split(spec)
+    if name not in ALGORITHM_KINDS:
+        raise SweepError(
+            f"unknown algorithm {spec!r}; kinds: {sorted(ALGORITHM_KINDS)}"
+        )
+    if len(args) > 1:
+        raise SweepError(f"{spec!r}: at most one period argument")
+    try:
+        period = float(args[0]) if args else 1.0
+    except ValueError as exc:
+        raise SweepError(f"{spec!r}: non-numeric period") from exc
+    return ALGORITHM_KINDS[name](period)
+
+
+#: family -> builder(topology, rho, seed, horizon) for per-node rate
+#: schedules.  ``constant`` is the quiet baseline; the rest come from the
+#: benign-adversary families above.
+RATE_FAMILIES: Dict[str, Callable[..., dict[int, PiecewiseConstantRate]]] = {
+    "constant": lambda topology, rho, seed, horizon: {
+        node: PiecewiseConstantRate.constant(1.0) for node in topology.nodes
+    },
+    "drifted": lambda topology, rho, seed, horizon: drifted_rates(
+        topology, rho=rho, seed=seed
+    ),
+    "spread": lambda topology, rho, seed, horizon: spread_rates(topology, rho=rho),
+    "wandering": lambda topology, rho, seed, horizon: wandering_rates(
+        topology, rho=rho, horizon=horizon, seed=seed
+    ),
+}
+
+
+def rates_from_spec(
+    spec: str, topology: Topology, *, rho: float, seed: int, horizon: float
+) -> dict[int, PiecewiseConstantRate]:
+    """Instantiate a rate family for one topology, e.g. ``"wandering"``."""
+    name, args = _split(spec)
+    if name not in RATE_FAMILIES or args:
+        raise SweepError(
+            f"unknown rate family {spec!r}; families: {sorted(RATE_FAMILIES)}"
+        )
+    return RATE_FAMILIES[name](topology, rho, seed, horizon)
+
+
+#: name -> builder(args) for delay-policy spec strings: ``half``,
+#: ``uniform`` / ``uniform:0.25,0.75``, ``fraction:0.3``, ``jitter``.
+DELAY_POLICIES: Dict[str, Callable[..., DelayPolicy]] = {
+    "half": lambda: HalfDistanceDelay(),
+    "uniform": lambda lo=0.0, hi=1.0: UniformRandomDelay(lo_frac=lo, hi_frac=hi),
+    "fraction": lambda f: FixedFractionDelay(f),
+    "jitter": lambda frac=1.0: JitterDelay(jitter_frac=frac),
+}
+
+
+def delay_policy_from_spec(spec: str) -> DelayPolicy:
+    """Build a delay policy from a spec string, e.g. ``"uniform:0.25,0.75"``."""
+    name, args = _split(spec)
+    if name not in DELAY_POLICIES:
+        raise SweepError(
+            f"unknown delay policy {spec!r}; kinds: {sorted(DELAY_POLICIES)}"
+        )
+    try:
+        values = [float(a) for a in args]
+    except ValueError as exc:
+        raise SweepError(f"{spec!r}: non-numeric argument") from exc
+    try:
+        return DELAY_POLICIES[name](*values)
+    except TypeError as exc:
+        raise SweepError(f"{spec!r}: bad arguments ({exc})") from exc

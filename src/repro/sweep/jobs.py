@@ -1,0 +1,174 @@
+"""Sweep jobs: declarative, picklable, hashable units of simulation work.
+
+A :class:`Job` is a *kind* name plus a JSON-able params dict.  Kinds are
+registered with :func:`job_kind`; each registration remembers the
+defining module so a worker process (even under the ``spawn`` start
+method, which inherits nothing) can import that module and find the
+function again.  The job's :func:`job_hash` is a SHA-256 over the
+canonical JSON of ``(kind, params, CACHE_VERSION)`` — the on-disk cache
+key and the source of per-job deterministic seeding.
+
+The built-in ``benign-run`` kind executes one benign scenario — a
+(topology, algorithm, rate family, delay policy, seed) cell — and
+returns the skew/convergence metrics every comparative table is built
+from.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import importlib
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Mapping
+
+from repro.analysis.convergence import settling_time, steady_state
+from repro.analysis.skew import summarize
+from repro.errors import SweepError
+from repro.sim.simulator import SimConfig, run_simulation
+from repro.sweep.families import (
+    algorithm_from_spec,
+    delay_policy_from_spec,
+    rates_from_spec,
+    topology_from_spec,
+)
+
+__all__ = [
+    "CACHE_VERSION",
+    "Job",
+    "JobOutcome",
+    "job_kind",
+    "resolve_job_kind",
+    "job_hash",
+    "execute_job",
+]
+
+#: Bump when a job kind's semantics change, to invalidate stale caches.
+CACHE_VERSION = 1
+
+#: kind name -> (callable, defining module name)
+_JOB_KINDS: Dict[str, tuple[Callable[[Mapping[str, Any]], dict], str]] = {}
+
+
+def job_kind(name: str):
+    """Decorator: register ``fn(params) -> metrics dict`` as a job kind."""
+
+    def register(fn: Callable[[Mapping[str, Any]], dict]):
+        _JOB_KINDS[name] = (fn, fn.__module__)
+        return fn
+
+    return register
+
+
+def resolve_job_kind(name: str, module: str | None = None):
+    """Look up a kind, importing its defining module if necessary.
+
+    ``module`` is carried alongside jobs into worker processes so kinds
+    registered outside :mod:`repro.sweep` (e.g. by an experiment module)
+    resolve even when the worker never imported that module.
+    """
+    if name not in _JOB_KINDS and module:
+        importlib.import_module(module)
+    if name not in _JOB_KINDS:
+        raise SweepError(f"unknown job kind {name!r}; have {sorted(_JOB_KINDS)}")
+    return _JOB_KINDS[name][0]
+
+
+@dataclass(frozen=True)
+class Job:
+    """One unit of sweep work: a registered kind plus its parameters."""
+
+    kind: str
+    params: Mapping[str, Any]
+    module: str = field(default="", compare=False)
+
+    def __post_init__(self) -> None:
+        if not self.module and self.kind in _JOB_KINDS:
+            object.__setattr__(self, "module", _JOB_KINDS[self.kind][1])
+
+    def canonical(self) -> str:
+        """Canonical JSON used for hashing and cache keys."""
+        return json.dumps(
+            {"kind": self.kind, "params": dict(self.params), "v": CACHE_VERSION},
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+
+
+@dataclass(frozen=True)
+class JobOutcome:
+    """What running (or recalling) one job produced."""
+
+    job: Job
+    metrics: dict
+    elapsed: float
+    cached: bool = False
+
+
+def job_hash(job: Job) -> str:
+    """Stable content hash of a job — the cache key."""
+    return hashlib.sha256(job.canonical().encode()).hexdigest()
+
+
+def execute_job(job: Job) -> JobOutcome:
+    """Run one job in the current process and time it."""
+    fn = resolve_job_kind(job.kind, job.module)
+    start = time.perf_counter()
+    metrics = fn(job.params)
+    return JobOutcome(job=job, metrics=metrics, elapsed=time.perf_counter() - start)
+
+
+# ----------------------------------------------------------------------
+# the built-in benign scenario kind
+
+
+@job_kind("benign-run")
+def benign_run(params: Mapping[str, Any]) -> dict:
+    """One benign scenario cell -> skew and convergence metrics.
+
+    Params: ``topology``, ``algorithm``, ``rates``, ``delays`` (spec
+    strings), ``duration``, ``rho``, ``seed``, optional ``step`` (metric
+    sample step) and ``settle_threshold``.
+    """
+    topology = topology_from_spec(params["topology"])
+    algorithm = algorithm_from_spec(params["algorithm"])
+    duration = float(params["duration"])
+    rho = float(params["rho"])
+    seed = int(params["seed"])
+    step = float(params.get("step", 1.0))
+    rates = rates_from_spec(
+        params["rates"], topology, rho=rho, seed=seed, horizon=duration
+    )
+    execution = run_simulation(
+        topology,
+        algorithm.processes(topology),
+        SimConfig(duration=duration, rho=rho, seed=seed, record_trace=False),
+        rate_schedules=rates,
+        delay_policy=delay_policy_from_spec(params["delays"]),
+    )
+    skew = summarize(execution, step=step)
+    threshold = float(
+        params.get("settle_threshold", 2.0 * topology.diameter * rho)
+    )
+    settled = settling_time(execution, threshold, step=step)
+    tail = steady_state(execution, step=step)
+    return {
+        "topology": params["topology"],
+        "algorithm": params["algorithm"],
+        "rates": params["rates"],
+        "delays": params["delays"],
+        "seed": seed,
+        "n_nodes": int(topology.n),
+        "diameter": float(topology.diameter),
+        "max_skew": float(skew.max_skew),
+        "max_adjacent_skew": float(skew.max_adjacent_skew),
+        "final_skew": float(skew.final_skew),
+        "final_adjacent_skew": float(skew.final_adjacent_skew),
+        "mean_abs_skew": float(skew.mean_abs_skew),
+        "settling_time": None if settled is None else float(settled),
+        "settle_threshold": threshold,
+        "steady_mean_max_skew": float(tail.mean_max_skew),
+        "steady_worst_adjacent_skew": float(tail.worst_adjacent_skew),
+        "messages": len(execution.messages),
+    }

@@ -1,0 +1,161 @@
+"""Declarative sweep grids.
+
+A :class:`SweepSpec` names *families* of scenarios — topologies,
+algorithms, rate schedules, delay policies, seeds — as compact spec
+strings (see :mod:`repro.sweep.families`).  ``spec.jobs()`` expands the
+cartesian product into independent ``benign-run`` jobs in a fixed,
+deterministic order; the runner may execute them in any order on any
+number of workers without changing a single metric.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+from dataclasses import asdict, dataclass
+from typing import Sequence
+
+from repro._constants import DEFAULT_RHO
+from repro.errors import SweepError
+from repro.sweep.families import (
+    algorithm_from_spec,
+    delay_policy_from_spec,
+    topology_from_spec,
+)
+from repro.sweep.jobs import Job
+
+__all__ = ["SweepSpec", "quick_spec", "full_spec"]
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """A grid of benign scenarios: the cartesian product of its axes."""
+
+    topologies: Sequence[str] = ("line:9",)
+    algorithms: Sequence[str] = ("max-based",)
+    rate_families: Sequence[str] = ("drifted",)
+    delay_policies: Sequence[str] = ("uniform",)
+    seeds: Sequence[int] = (0,)
+    duration: float = 30.0
+    rho: float = DEFAULT_RHO
+    step: float = 1.0
+    name: str = "sweep"
+
+    def __post_init__(self) -> None:
+        for axis in ("topologies", "algorithms", "rate_families",
+                     "delay_policies", "seeds"):
+            if not getattr(self, axis):
+                raise SweepError(f"spec axis {axis!r} must be non-empty")
+        if self.duration <= 0:
+            raise SweepError(f"duration must be positive, got {self.duration}")
+
+    # ------------------------------------------------------------------
+
+    def validate(self) -> None:
+        """Fail fast on unknown family names, before any forking."""
+        for spec in self.topologies:
+            topology_from_spec(spec)
+        for spec in self.algorithms:
+            algorithm_from_spec(spec)
+        for spec in self.delay_policies:
+            delay_policy_from_spec(spec)
+        from repro.sweep.families import RATE_FAMILIES
+
+        for spec in self.rate_families:
+            if spec not in RATE_FAMILIES:
+                raise SweepError(
+                    f"unknown rate family {spec!r}; families: "
+                    f"{sorted(RATE_FAMILIES)}"
+                )
+
+    @property
+    def size(self) -> int:
+        return (
+            len(self.topologies)
+            * len(self.algorithms)
+            * len(self.rate_families)
+            * len(self.delay_policies)
+            * len(self.seeds)
+        )
+
+    def jobs(self) -> list[Job]:
+        """Expand the grid into ``benign-run`` jobs, in deterministic order."""
+        self.validate()
+        jobs = []
+        for topology, algorithm, rates, delays, seed in itertools.product(
+            self.topologies,
+            self.algorithms,
+            self.rate_families,
+            self.delay_policies,
+            self.seeds,
+        ):
+            jobs.append(
+                Job(
+                    kind="benign-run",
+                    params={
+                        "topology": topology,
+                        "algorithm": algorithm,
+                        "rates": rates,
+                        "delays": delays,
+                        "seed": int(seed),
+                        "duration": self.duration,
+                        "rho": self.rho,
+                        "step": self.step,
+                    },
+                )
+            )
+        return jobs
+
+    # ------------------------------------------------------------------
+
+    def to_json(self) -> str:
+        return json.dumps(asdict(self), sort_keys=True, indent=2)
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "SweepSpec":
+        known = {f for f in cls.__dataclass_fields__}  # type: ignore[attr-defined]
+        extra = set(payload) - known
+        if extra:
+            raise SweepError(f"unknown SweepSpec fields: {sorted(extra)}")
+        coerced = dict(payload)
+        for axis in ("topologies", "algorithms", "rate_families",
+                     "delay_policies", "seeds"):
+            if axis in coerced:
+                coerced[axis] = tuple(coerced[axis])
+        return cls(**coerced)
+
+
+def quick_spec(*, seeds: int = 2) -> SweepSpec:
+    """A small multi-axis grid that finishes in seconds — CI material."""
+    return SweepSpec(
+        name="quick",
+        topologies=("line:7", "ring:8", "grid:3,3"),
+        algorithms=("max-based", "bounded-catch-up"),
+        rate_families=("drifted", "spread"),
+        delay_policies=("uniform",),
+        seeds=tuple(range(seeds)),
+        duration=20.0,
+        rho=0.2,
+        step=1.0,
+    )
+
+
+def full_spec(*, seeds: int = 5) -> SweepSpec:
+    """The writeup-scale grid: every family axis exercised."""
+    return SweepSpec(
+        name="full",
+        topologies=("line:17", "ring:16", "grid:4,4", "tree:2,3", "geometric:16,3"),
+        algorithms=(
+            "max-based",
+            "srikanth-toueg",
+            "averaging",
+            "bounded-catch-up",
+            "slewing-max",
+        ),
+        rate_families=("constant", "drifted", "spread", "wandering"),
+        delay_policies=("half", "uniform"),
+        seeds=tuple(range(seeds)),
+        duration=60.0,
+        rho=0.2,
+        step=1.0,
+    )

@@ -47,6 +47,12 @@ def test_target_tracking():
     assert "skew budget" in out
 
 
+def test_scenario_sweep():
+    out = run_example("scenario_sweep.py")
+    assert "metrics identical at 1 and 2 workers: True" in out
+    assert "cache hits" in out
+
+
 @pytest.mark.slow
 def test_lower_bound_tour():
     out = run_example("lower_bound_tour.py")

@@ -1,0 +1,250 @@
+"""Tests for the parallel scenario-sweep engine (repro.sweep).
+
+The load-bearing guarantees: grids expand deterministically, metrics are
+identical at any worker count, the cache returns exactly what the run
+produced, and the family registries reject unknown names loudly.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.algorithms import MaxBasedAlgorithm
+from repro.errors import SweepError
+from repro.sweep import (
+    Job,
+    ResultCache,
+    SweepSpec,
+    algorithm_from_spec,
+    delay_policy_from_spec,
+    execute_job,
+    job_hash,
+    quick_spec,
+    run_jobs,
+    summary_table,
+    sweep_result,
+    to_json_payload,
+    topology_from_spec,
+    write_json,
+)
+from repro.sweep.spec import full_spec
+
+TINY = SweepSpec(
+    name="tiny",
+    topologies=("line:5", "ring:6"),
+    algorithms=("max-based", "bounded-catch-up"),
+    rate_families=("drifted",),
+    delay_policies=("uniform",),
+    seeds=(0, 1),
+    duration=8.0,
+    rho=0.2,
+)
+
+
+def metrics_of(outcomes):
+    return [o.metrics for o in outcomes]
+
+
+class TestFamilies:
+    def test_topology_specs(self):
+        assert topology_from_spec("line:5").n == 5
+        assert topology_from_spec("grid:3,4").n == 12
+        assert topology_from_spec("tree:2,2").n == 7
+        assert topology_from_spec("geometric:8,3").n == 8
+
+    def test_algorithm_specs(self):
+        algorithm = algorithm_from_spec("max-based:0.5")
+        assert isinstance(algorithm, MaxBasedAlgorithm)
+        assert algorithm.period == 0.5
+        assert algorithm_from_spec("null").name == "null"
+
+    def test_delay_specs(self):
+        assert delay_policy_from_spec("half").delay(0, 1, 0.0, 2.0, 0, None) == 1.0
+        policy = delay_policy_from_spec("fraction:0.25")
+        assert policy.delay(0, 1, 0.0, 4.0, 0, None) == 1.0
+
+    @pytest.mark.parametrize(
+        "builder, spec",
+        [
+            (topology_from_spec, "moebius:5"),
+            (topology_from_spec, "line:x"),
+            (topology_from_spec, "grid:3"),
+            (algorithm_from_spec, "quantum"),
+            (algorithm_from_spec, "max-based:1,2"),
+            (delay_policy_from_spec, "telepathy"),
+            (delay_policy_from_spec, "fraction:fast"),
+        ],
+    )
+    def test_unknown_specs_raise(self, builder, spec):
+        with pytest.raises(SweepError):
+            builder(spec)
+
+
+class TestSpec:
+    def test_grid_size_and_order(self):
+        jobs = TINY.jobs()
+        assert len(jobs) == TINY.size == 2 * 2 * 1 * 1 * 2
+        # Deterministic expansion: same spec, same order, same hashes.
+        assert [job_hash(j) for j in jobs] == [job_hash(j) for j in TINY.jobs()]
+        # All cells distinct.
+        assert len({job_hash(j) for j in jobs}) == len(jobs)
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(SweepError):
+            SweepSpec(topologies=())
+
+    def test_unknown_family_rejected_before_running(self):
+        bad = SweepSpec(topologies=("klein-bottle:4",))
+        with pytest.raises(SweepError):
+            bad.jobs()
+
+    def test_round_trips_through_json(self):
+        spec = quick_spec()
+        clone = SweepSpec.from_dict(json.loads(spec.to_json()))
+        assert clone == spec
+        with pytest.raises(SweepError):
+            SweepSpec.from_dict({"warp_factor": 9})
+
+    def test_presets_expand(self):
+        assert quick_spec().size >= 12
+        assert full_spec().size >= 100
+
+
+class TestDeterminism:
+    @pytest.fixture(scope="class")
+    def serial_outcomes(self):
+        return run_jobs(TINY.jobs(), workers=1)
+
+    @pytest.mark.parametrize("workers", [2, 4])
+    def test_same_metrics_at_any_worker_count(self, serial_outcomes, workers):
+        parallel = run_jobs(TINY.jobs(), workers=workers)
+        assert metrics_of(parallel) == metrics_of(serial_outcomes)
+
+    def test_outcomes_in_job_order(self, serial_outcomes):
+        jobs = TINY.jobs()
+        assert [job_hash(o.job) for o in serial_outcomes] == [
+            job_hash(j) for j in jobs
+        ]
+
+    def test_workers_must_be_positive(self):
+        with pytest.raises(SweepError):
+            run_jobs(TINY.jobs(), workers=0)
+
+
+class TestCache:
+    def test_second_run_is_all_hits_with_identical_metrics(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        first = run_jobs(TINY.jobs(), workers=2, cache=cache)
+        assert cache.hits == 0 and cache.misses == TINY.size
+        assert len(cache) == TINY.size
+
+        warm = ResultCache(tmp_path / "c")
+        second = run_jobs(TINY.jobs(), workers=2, cache=warm)
+        assert warm.hits == TINY.size and warm.misses == 0
+        assert all(o.cached for o in second)
+        assert metrics_of(second) == metrics_of(first)
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        job = TINY.jobs()[0]
+        run_jobs([job], cache=cache)
+        (tmp_path / f"{job_hash(job)}.json").write_text("{not json")
+        fresh = ResultCache(tmp_path)
+        [outcome] = run_jobs([job], cache=fresh)
+        assert fresh.hits == 0 and fresh.misses == 1
+        assert not outcome.cached
+
+    def test_cache_key_tracks_params(self):
+        job_a = Job(kind="benign-run", params={"seed": 0})
+        job_b = Job(kind="benign-run", params={"seed": 1})
+        assert job_hash(job_a) != job_hash(job_b)
+        assert job_hash(job_a) == job_hash(Job(kind="benign-run", params={"seed": 0}))
+
+
+class TestJobs:
+    def test_unknown_kind_raises(self):
+        with pytest.raises(SweepError):
+            execute_job(Job(kind="perpetual-motion", params={}))
+
+    def test_benign_run_metrics_shape(self):
+        job = TINY.jobs()[0]
+        outcome = execute_job(job)
+        m = outcome.metrics
+        assert m["n_nodes"] == 5
+        assert m["max_skew"] >= m["max_adjacent_skew"] >= 0.0
+        assert m["messages"] > 0
+        # JSON-able: survives a cache round trip bit-for-bit.
+        assert json.loads(json.dumps(m)) == m
+
+
+class TestAggregation:
+    @pytest.fixture(scope="class")
+    def outcomes(self):
+        return run_jobs(TINY.jobs(), workers=1)
+
+    def test_summary_groups_cells(self, outcomes):
+        table = summary_table(outcomes, title="t")
+        # 4 cells (2 topologies x 2 algorithms), each averaging 2 seeds.
+        assert len(table.rows) == 4
+        assert all(row[4] == "2" for row in table.rows)
+
+    def test_sweep_result_renders(self, outcomes):
+        result = sweep_result(TINY, outcomes, include_seed_rows=True)
+        rendered = result.render()
+        assert "SWEEP" in rendered and "line:5" in rendered
+        assert len(result.data["metrics"]) == len(outcomes)
+
+    def test_json_artifact(self, outcomes, tmp_path):
+        payload = to_json_payload(TINY, outcomes, workers=1, elapsed=1.0)
+        path = write_json(tmp_path / "artifacts" / "sweep.json", payload)
+        loaded = json.loads(path.read_text())
+        assert len(loaded["jobs"]) == TINY.size
+        assert loaded["spec"]["name"] == "tiny"
+
+
+class TestExperimentIntegration:
+    def test_e05_identical_across_worker_counts(self):
+        from repro.experiments import run_experiment
+
+        serial = run_experiment("E05", workers=1)
+        parallel = run_experiment("E05", workers=2)
+        assert serial.tables[0].rows == parallel.tables[0].rows
+
+    def test_unported_experiment_ignores_workers(self):
+        from repro.experiments import run_experiment
+
+        result = run_experiment("E01", workers=4)
+        assert result.experiment_id == "E01"
+
+
+class TestSweepCLI:
+    def test_sweep_verb_runs(self, capsys, tmp_path):
+        from repro.experiments.cli import main as cli_main
+
+        code = cli_main(
+            [
+                "sweep",
+                "--quick",
+                "--topologies", "line:5",
+                "--algorithms", "max-based",
+                "--rates", "drifted",
+                "--seeds", "1",
+                "--duration", "5",
+                "--workers", "2",
+                "--cache-dir", str(tmp_path / "cache"),
+                "--json-out", str(tmp_path / "out.json"),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "SWEEP" in out and "line:5" in out
+        assert (tmp_path / "out.json").exists()
+
+    def test_sweep_verb_bad_spec_exits_nonzero(self, capsys):
+        from repro.experiments.cli import main as cli_main
+
+        code = cli_main(["sweep", "--topologies", "klein-bottle:4"])
+        assert code == 2
+        assert "unknown topology" in capsys.readouterr().err
