@@ -1,0 +1,26 @@
+"""E13 — robustness under faults & churn (beyond the paper's model)."""
+
+import pytest
+
+from conftest import report
+from repro.experiments import run_experiment
+
+
+@pytest.mark.benchmark(group="E13-robustness")
+def test_e13_robustness(benchmark):
+    result = benchmark.pedantic(
+        run_experiment, args=("E13", "quick"), kwargs={"workers": 2},
+        rounds=1, iterations=1,
+    )
+    report(result)
+    rows = result.tables[0].as_dicts()
+    assert rows
+    # Baselines anchor at exactly 1x; harsher rungs never improve the
+    # fault-free final skew by more than noise.
+    for row in rows:
+        if row["fault"] == "none":
+            assert float(row["x baseline"]) == pytest.approx(1.0)
+        assert float(row["final_skew"]) >= 0.0
+    # Churn must measurably hurt at least one algorithm somewhere.
+    churn = [r for r in rows if r["fault"].startswith("churn")]
+    assert churn and any(float(r["x baseline"]) > 1.05 for r in churn)

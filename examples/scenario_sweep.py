@@ -4,11 +4,18 @@
 Covers the three things the sweep engine does:
 
 1. expand a declarative SweepSpec — topologies x algorithms x rate
-   families x delay policies x seeds — into independent jobs;
+   families x delay policies x fault families x seeds — into
+   independent jobs;
 2. fan the jobs across a worker pool and aggregate the metrics, with
    results identical at any worker count;
 3. cache results on disk keyed by job content hash, so re-running a
    grid is (almost) free.
+
+The fault axis ("none" vs a lossy network here; also crash-stop,
+crash-recovery, duplication, reordering and link churn — see
+repro.sim.faults) makes every grid a robustness experiment: each
+faulted cell can be read against its fault-free sibling, which is
+exactly what experiment E13 automates.
 
 Run:  python examples/scenario_sweep.py
 """
@@ -24,6 +31,7 @@ SPEC = SweepSpec(
     algorithms=("max-based:0.5", "bounded-catch-up"),
     rate_families=("drifted", "wandering"),
     delay_policies=("uniform",),
+    fault_families=("none", "loss:0.2"),
     seeds=(0, 1),
     duration=15.0,
     rho=0.2,
@@ -35,7 +43,8 @@ def expand() -> list:
     jobs = SPEC.jobs()
     sample = jobs[0].params
     print(f"first cell: {sample['topology']} / {sample['algorithm']} / "
-          f"{sample['rates']} / seed {sample['seed']}")
+          f"{sample['rates']} / faults {sample['faults']} / "
+          f"seed {sample['seed']}")
     print()
     return jobs
 

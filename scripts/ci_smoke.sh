@@ -1,5 +1,6 @@
 #!/usr/bin/env bash
 # CI smoke: tier-1 tests, then one quick-scale parallel sweep end-to-end,
+# then the fault/robustness suite (E13 + the `faults`-marked tests),
 # then the sweep-engine benchmark (serial-vs-parallel + cache recall).
 #
 # Usage: bash scripts/ci_smoke.sh
@@ -23,6 +24,21 @@ python -m repro.experiments sweep --quick --seeds 1 --duration 10 \
 python -m repro.experiments sweep --quick --seeds 1 --duration 10 \
     --workers 2 --cache-dir "$ARTIFACTS/cache" | grep -q "0 miss(es)" \
     || { echo "error: warm sweep re-ran jobs instead of hitting the cache" >&2; exit 1; }
+
+echo
+echo "== fault & churn robustness suite =="
+# The fault suite is independently selectable: -m faults runs it alone,
+# -m 'not faults' skips it when iterating on unrelated code.
+python -m pytest -q -m faults tests/
+python -m repro.experiments E13 --scale quick --workers 2 > "$ARTIFACTS/e13.txt"
+grep -q "x baseline" "$ARTIFACTS/e13.txt" \
+    || { echo "error: E13 produced no degradation table" >&2; exit 1; }
+# The fault axis end-to-end through the sweep CLI.
+python -m repro.experiments sweep --topologies line:5 --algorithms max-based \
+    --rates drifted --faults none,loss:0.3,crash-recover:0.3,4 \
+    --seeds 1 --duration 8 --workers 2 > "$ARTIFACTS/fault_sweep.txt"
+grep -q "3 fault families" "$ARTIFACTS/fault_sweep.txt" \
+    || { echo "error: sweep CLI did not expand the fault axis" >&2; exit 1; }
 
 echo
 echo "== sweep engine benchmark =="

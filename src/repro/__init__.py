@@ -16,8 +16,11 @@ The package provides:
   adversary, all executable and verified;
 * :mod:`repro.apps` — the motivating applications (TDMA, data fusion,
   target tracking);
-* :mod:`repro.experiments` — runnable reproductions E01-E11 of every
-  evaluation artifact in the paper.
+* :mod:`repro.experiments` — runnable reproductions E01-E13 of every
+  evaluation artifact in the paper (plus extensions beyond it, like the
+  E13 fault-robustness sweep);
+* :mod:`repro.sweep` — the parallel scenario-sweep engine, including
+  the fault & churn axis built on :class:`repro.sim.FaultPlan`.
 
 Quickstart::
 
@@ -56,6 +59,7 @@ from repro.gcs import (
 )
 from repro.sim import (
     Execution,
+    FaultPlan,
     HalfDistanceDelay,
     PiecewiseConstantRate,
     Process,
@@ -104,6 +108,7 @@ __all__ = [
     "measure_bounded_increase",
     # sim
     "Execution",
+    "FaultPlan",
     "HalfDistanceDelay",
     "UniformRandomDelay",
     "PiecewiseConstantRate",

@@ -43,6 +43,11 @@ class AveragingProcess(PeriodicProcess):
         if gap > 0:
             api.jump_logical_by(self.pull * gap)
 
+    def recover(self, api: NodeAPI) -> None:
+        """Drop estimates that went stale during the outage; the next
+        round of gossip rebuilds them (jumps stay forward-only)."""
+        self.estimates.clear()
+
 
 @dataclass
 class AveragingAlgorithm(SyncAlgorithm):

@@ -65,6 +65,17 @@ class PeriodicProcess(Process):
         api.broadcast(self.payload(api))
         api.set_timer(self.period, self.TICK)
 
+    def on_recover(self, api: NodeAPI) -> None:
+        """Come back from a crash: re-announce and re-arm the gossip timer.
+
+        The crash cancelled the pending tick, so without this the node
+        would stay silent forever.  ``recover`` runs first so subclasses
+        can discard state that went stale during the outage.
+        """
+        self.recover(api)
+        api.broadcast(self.payload(api))
+        api.set_timer(self.period, self.TICK)
+
     # hooks ------------------------------------------------------------
 
     def initialize(self, api: NodeAPI) -> None:
@@ -72,6 +83,9 @@ class PeriodicProcess(Process):
 
     def tick(self, api: NodeAPI) -> None:
         """Called every period before broadcasting."""
+
+    def recover(self, api: NodeAPI) -> None:
+        """Called on crash recovery, before the re-announcement broadcast."""
 
     def payload(self, api: NodeAPI) -> Any:
         """The broadcast content; default is the node's logical clock value."""
@@ -119,6 +133,11 @@ class NeighborEstimates:
 
     def known(self) -> list[int]:
         return sorted(self._last)
+
+    def clear(self) -> None:
+        """Forget everything — estimates dead-reckoned across a crash
+        outage are arbitrarily stale and must not be extrapolated."""
+        self._last.clear()
 
 
 @dataclass

@@ -57,6 +57,12 @@ class BoundedCatchUpProcess(PeriodicProcess):
     def tick(self, api: NodeAPI) -> None:
         self._adjust(api)
 
+    def recover(self, api: NodeAPI) -> None:
+        """Restart from local knowledge only: drop stale neighbor
+        estimates and leave fast mode (fresh estimates re-engage it)."""
+        self.estimates.clear()
+        api.set_logical_multiplier(1.0)
+
     def _adjust(self, api: NodeAPI) -> None:
         estimates = self.estimates.estimates(api)
         if not estimates:

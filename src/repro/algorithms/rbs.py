@@ -47,6 +47,10 @@ class BeaconProcess(Process):
         if name == self.PULSE:
             self._fire(api)
 
+    def on_recover(self, api: NodeAPI) -> None:
+        """Resume pulsing (the crash cancelled the pending pulse timer)."""
+        self._fire(api)
+
     def _fire(self, api: NodeAPI) -> None:
         self.pulse += 1
         api.broadcast(("pulse", self.pulse))

@@ -52,6 +52,11 @@ class SlewingMaxProcess(PeriodicProcess):
         if gap > 0:
             api.jump_logical_by(min(gap, self.sigma))
 
+    def recover(self, api: NodeAPI) -> None:
+        """Drop estimates that went stale during the outage; slewing
+        then chases fresh values only."""
+        self.estimates.clear()
+
 
 @dataclass
 class SlewingMaxAlgorithm(SyncAlgorithm):

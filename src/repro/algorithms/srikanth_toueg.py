@@ -54,6 +54,13 @@ class ResyncProcess(Process):
         self._maybe_advance(api)
         api.set_timer(self.check_period, self.CHECK)
 
+    def on_recover(self, api: NodeAPI) -> None:
+        """Rejoin after a crash: adopt the round the (still advancing)
+        logical clock already sits in — without re-broadcasting stale
+        rounds — and re-arm the boundary check."""
+        self.round = max(self.round, int(api.logical_now() // self.round_length))
+        api.set_timer(self.check_period, self.CHECK)
+
     def on_message(self, api: NodeAPI, sender: int, payload) -> None:
         kind, k = payload
         if kind != "resync" or k <= self.round:

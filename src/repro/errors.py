@@ -59,3 +59,7 @@ class ExperimentError(ReproError):
 
 class SweepError(ReproError):
     """A scenario sweep is malformed (unknown spec names, bad grid, ...)."""
+
+
+class FaultError(ReproError):
+    """A fault plan is malformed (unknown nodes, bad probabilities, ...)."""

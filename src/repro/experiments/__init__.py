@@ -1,7 +1,7 @@
 """Experiment registry: every evaluation artifact of the paper, runnable.
 
 Each experiment is a function ``run(scale, *, seed) -> ExperimentResult``;
-the registry maps experiment ids (E01..E11) to them.  Benchmarks wrap the
+the registry maps experiment ids (E01..E13) to them.  Benchmarks wrap the
 same runners, and ``python -m repro.experiments E02`` runs one from the
 command line.
 """
@@ -23,6 +23,7 @@ from repro.experiments import (
     e10_tracking,
     e11_properties,
     e12_candidates,
+    e13_robustness,
 )
 from repro.experiments.common import ExperimentResult
 
@@ -41,6 +42,7 @@ REGISTRY: dict[str, Callable[..., ExperimentResult]] = {
     "E10": e10_tracking.run,
     "E11": e11_properties.run,
     "E12": e12_candidates.run,
+    "E13": e13_robustness.run,
 }
 
 

@@ -39,7 +39,7 @@ def main(argv: list[str] | None = None) -> int:
         "ids",
         nargs="*",
         metavar="ID",
-        help="experiment ids (E01..E12), or 'sweep'; default: all",
+        help="experiment ids (E01..E13), or 'sweep'; default: all",
     )
     parser.add_argument(
         "--scale",

@@ -7,6 +7,13 @@ messages whose delays the adversary picks from ``[0, d_ij]``.
 
 from repro.sim.clock import HardwareClock, LogicalClock
 from repro.sim.execution import Execution
+from repro.sim.faults import (
+    CrashWindow,
+    CrashingProcess,
+    DroppingDelayPolicy,
+    FaultPlan,
+    LinkFault,
+)
 from repro.sim.messages import (
     FixedFractionDelay,
     HalfDistanceDelay,
@@ -25,6 +32,11 @@ __all__ = [
     "HardwareClock",
     "LogicalClock",
     "Execution",
+    "FaultPlan",
+    "CrashWindow",
+    "LinkFault",
+    "CrashingProcess",
+    "DroppingDelayPolicy",
     "Message",
     "HalfDistanceDelay",
     "FixedFractionDelay",

@@ -215,6 +215,10 @@ class LogicalClock:
         t_seg, v_seg, mult = self._times[k], self._values[k], self._mults[k]
         h_target = self.hardware.value_at(t_seg) + (value - v_seg) / mult
         t = self.hardware.time_at(h_target)
+        # value >= v_seg = L(t_seg), so the preimage cannot precede the
+        # segment start; float error in the inversion could land just
+        # below it, which would drop the segment's opening jump.
+        t = max(t, t_seg)
         if k + 1 < len(self._times) and t > self._times[k + 1]:
             # The value falls inside a forward jump: crossed at the jump.
             return self._times[k + 1]

@@ -17,7 +17,7 @@ from typing import Any, Optional
 
 from repro.errors import SimulationError
 
-__all__ = ["DeliverMessage", "FireTimer", "EventQueue"]
+__all__ = ["DeliverMessage", "FireTimer", "CrashNode", "RecoverNode", "EventQueue"]
 
 
 @dataclass(frozen=True)
@@ -30,11 +30,31 @@ class DeliverMessage:
 
 @dataclass(frozen=True)
 class FireTimer:
-    """A node-local timer set in *hardware* time coming due."""
+    """A node-local timer set in *hardware* time coming due.
+
+    ``epoch`` is the node's crash epoch when the timer was set; a timer
+    whose epoch is stale (the node crashed since) is cancelled.  It is
+    always 0 in fault-free runs.
+    """
 
     node: int
     name: str
     generation: int
+    epoch: int = 0
+
+
+@dataclass(frozen=True)
+class CrashNode:
+    """A scheduled crash of ``node`` (see :mod:`repro.sim.faults`)."""
+
+    node: int
+
+
+@dataclass(frozen=True)
+class RecoverNode:
+    """A scheduled recovery of ``node`` (see :mod:`repro.sim.faults`)."""
+
+    node: int
 
 
 @dataclass(order=True)

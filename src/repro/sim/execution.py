@@ -36,6 +36,10 @@ class Execution:
     logical: dict[int, LogicalClock]
     trace: ExecutionTrace
     messages: list[Message]
+    #: Fault-injection counters (crashes, losses, duplicates, ...) when
+    #: the run carried a non-empty fault plan; ``None`` for fault-free
+    #: runs, which the paper's model — and most of this package — uses.
+    fault_stats: dict | None = None
 
     # ------------------------------------------------------------------
     # clock queries

@@ -39,6 +39,16 @@ class Process:
     def on_timer(self, api: "NodeAPI", name: str) -> None:
         """Called when a timer set via :meth:`NodeAPI.set_timer` fires."""
 
+    def on_recover(self, api: "NodeAPI") -> None:
+        """Called when the node comes back from a crash-recovery fault.
+
+        Only fault plans (:mod:`repro.sim.faults`) trigger this; the
+        paper's reliable model never does.  Timers pending at the crash
+        were cancelled, so implementations should re-arm their periodic
+        machinery here and discard any state that went stale during the
+        outage (e.g. dead-reckoned neighbor estimates).
+        """
+
 
 class NodeAPI:
     """What a node is allowed to see and do.

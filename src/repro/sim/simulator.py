@@ -7,12 +7,14 @@ real-time duration.
 
 Determinism contract
 --------------------
-Given identical (topology, processes, schedules, delay policy, seed,
-duration), two runs produce identical traces.  Consequently, re-running
-under a *warped* schedule reproduces exactly the retimed execution that
-the paper's indistinguishability arguments construct on paper — this is
-the mechanism behind :mod:`repro.gcs.add_skew` and
-:mod:`repro.gcs.lower_bound`.
+Given identical (topology, processes, schedules, delay policy, fault
+plan, seed, duration), two runs produce identical traces.  Consequently,
+re-running under a *warped* schedule reproduces exactly the retimed
+execution that the paper's indistinguishability arguments construct on
+paper — this is the mechanism behind :mod:`repro.gcs.add_skew` and
+:mod:`repro.gcs.lower_bound`.  An empty (or absent) fault plan builds no
+fault machinery at all, so fault-free runs stay byte-identical to what
+the simulator produced before faults existed.
 """
 
 from __future__ import annotations
@@ -24,8 +26,15 @@ from typing import Mapping, Optional
 from repro._constants import DEFAULT_RHO, TIME_EPS
 from repro.errors import SimulationError
 from repro.sim.clock import HardwareClock, LogicalClock
-from repro.sim.events import DeliverMessage, EventQueue, FireTimer
+from repro.sim.events import (
+    CrashNode,
+    DeliverMessage,
+    EventQueue,
+    FireTimer,
+    RecoverNode,
+)
 from repro.sim.execution import Execution
+from repro.sim.faults import CrashingProcess, FaultController, FaultPlan
 from repro.sim.messages import (
     DelayPolicy,
     HalfDistanceDelay,
@@ -35,8 +44,10 @@ from repro.sim.messages import (
 from repro.sim.node import NodeAPI, Process
 from repro.sim.rates import PiecewiseConstantRate
 from repro.sim.trace import (
+    CRASH,
     ExecutionTrace,
     RECEIVE,
+    RECOVER,
     SEND,
     START,
     TIMER,
@@ -80,6 +91,7 @@ class Simulator:
         *,
         rate_schedules: Optional[Mapping[int, PiecewiseConstantRate]] = None,
         delay_policy: Optional[DelayPolicy] = None,
+        fault_plan: Optional[FaultPlan] = None,
     ):
         if set(processes) != set(topology.nodes):
             raise SimulationError("processes must cover exactly the topology's nodes")
@@ -97,6 +109,9 @@ class Simulator:
         self.now = 0.0
         self._finished = False
         self._delay_rng = random.Random(config.seed ^ 0x5EED)
+        bind_run = getattr(self.delay_policy, "bind_run", None)
+        if bind_run is not None:
+            bind_run(config.seed)
 
         schedules = dict(rate_schedules or {})
         self._hardware: dict[int, HardwareClock] = {}
@@ -112,6 +127,21 @@ class Simulator:
                 self, node, lc, random.Random((config.seed * 1_000_003) ^ node)
             )
 
+        # Promote CrashingProcess wrappers to native crash-stop windows:
+        # the wrapper names a *hardware* reading, which the node's rate
+        # schedule converts to an exact real time.
+        plan = fault_plan or FaultPlan()
+        for node, process in self._processes.items():
+            if isinstance(process, CrashingProcess):
+                plan = plan.with_crash(
+                    node, self._hardware[node].time_at(process.crash_at_hardware)
+                )
+        # The empty plan builds no controller at all, keeping fault-free
+        # runs byte-identical to a simulator without fault support.
+        self._faults: Optional[FaultController] = (
+            None if plan.is_empty() else FaultController(plan, topology, config.seed)
+        )
+
     # ------------------------------------------------------------------
     # services used by NodeAPI
 
@@ -122,6 +152,10 @@ class Simulator:
     def send_message(self, sender: int, receiver: int, payload) -> None:
         if sender == receiver:
             raise SimulationError(f"node {sender} tried to message itself")
+        if self._faults is not None and self._faults.node_down(sender):
+            # Crashed nodes emit nothing.  Callbacks are already
+            # suppressed, so this only catches misbehaving wrappers.
+            return
         distance = self.topology.distance(sender, receiver)
         raw = self.delay_policy.delay(
             sender, receiver, self.now, distance, self._msg_counter, self._delay_rng
@@ -141,19 +175,28 @@ class Simulator:
         if raw == float("inf"):
             # Fault-injection sentinel (sim.faults.DROPPED): the node sent
             # but the network lost the message.  Outside the paper's
-            # reliable model; test-suite only.
+            # reliable model.
             return
         delay = validate_delay(raw, distance)
-        message = Message(
-            seq=seq,
-            sender=sender,
-            receiver=receiver,
-            payload=payload,
-            send_time=self.now,
-            delay=delay,
-        )
-        self._messages.append(message)
-        self._queue.push(message.receive_time, DeliverMessage(receiver, message))
+        delays = [delay]
+        if self._faults is not None:
+            # Link faults may lose the message, redraw its delay
+            # (reordering), or add a duplicate copy.  Copies share the
+            # send's seq: the network duplicated one message.
+            delays = self._faults.outbound_delays(
+                sender, receiver, self.now, distance, delay
+            )
+        for chosen in delays:
+            message = Message(
+                seq=seq,
+                sender=sender,
+                receiver=receiver,
+                payload=payload,
+                send_time=self.now,
+                delay=validate_delay(chosen, distance),
+            )
+            self._messages.append(message)
+            self._queue.push(message.receive_time, DeliverMessage(receiver, message))
 
     def set_timer(self, node: int, delta_hardware: float, name: str) -> None:
         if delta_hardware <= 0:
@@ -161,7 +204,8 @@ class Simulator:
         hw = self._hardware[node]
         fire_at = hw.time_at(hw.value_at(self.now) + delta_hardware)
         self._timer_generation += 1
-        self._queue.push(fire_at, FireTimer(node, name, self._timer_generation))
+        epoch = 0 if self._faults is None else self._faults.epoch(node)
+        self._queue.push(fire_at, FireTimer(node, name, self._timer_generation, epoch))
 
     # ------------------------------------------------------------------
     # the event loop
@@ -172,6 +216,11 @@ class Simulator:
             raise SimulationError("a Simulator instance runs exactly once")
         self._finished = True
         duration = self.config.duration
+
+        if self._faults is not None:
+            # Scheduled first, so crash/recovery events take the lowest
+            # sequence numbers and pop before same-instant deliveries.
+            self._faults.schedule(self._queue.push)
 
         for node in self.topology.nodes:
             self.record(
@@ -185,6 +234,8 @@ class Simulator:
                 )
             )
         for node in self.topology.nodes:
+            if self._faults is not None and self._faults.node_down(node):
+                continue  # crashed at time 0: never starts
             self._processes[node].on_start(self._api[node])
 
         while self._queue:
@@ -197,13 +248,21 @@ class Simulator:
                 self._deliver(event.message)
             elif isinstance(event, FireTimer):
                 self._fire_timer(event)
-            else:  # pragma: no cover - queue only ever holds the two kinds
+            elif isinstance(event, CrashNode):
+                self._crash(event.node)
+            elif isinstance(event, RecoverNode):
+                self._recover(event.node)
+            else:  # pragma: no cover - queue only ever holds these kinds
                 raise SimulationError(f"unknown event {event!r}")
         self.now = duration
         return self._build_execution()
 
     def _deliver(self, message: Message) -> None:
         node = message.receiver
+        if self._faults is not None and self._faults.delivery_suppressed(
+            message, self.now
+        ):
+            return
         self.record(
             TraceEvent(
                 real_time=self.now,
@@ -218,6 +277,10 @@ class Simulator:
 
     def _fire_timer(self, event: FireTimer) -> None:
         node = event.node
+        if self._faults is not None and self._faults.timer_cancelled(
+            node, event.epoch
+        ):
+            return
         self.record(
             TraceEvent(
                 real_time=self.now,
@@ -230,6 +293,33 @@ class Simulator:
         )
         self._processes[node].on_timer(self._api[node], event.name)
 
+    def _crash(self, node: int) -> None:
+        self._faults.on_crash(node)
+        self.record(
+            TraceEvent(
+                real_time=self.now,
+                node=node,
+                hardware=self._hardware[node].value_at(self.now),
+                logical=self._logical[node].read(self.now),
+                kind=CRASH,
+                detail=None,
+            )
+        )
+
+    def _recover(self, node: int) -> None:
+        self._faults.on_recover(node)
+        self.record(
+            TraceEvent(
+                real_time=self.now,
+                node=node,
+                hardware=self._hardware[node].value_at(self.now),
+                logical=self._logical[node].read(self.now),
+                kind=RECOVER,
+                detail=None,
+            )
+        )
+        self._processes[node].on_recover(self._api[node])
+
     def _build_execution(self) -> Execution:
         return Execution(
             topology=self.topology,
@@ -239,6 +329,7 @@ class Simulator:
             logical={n: self._logical[n] for n in self.topology.nodes},
             trace=self._trace,
             messages=list(self._messages),
+            fault_stats=None if self._faults is None else dict(self._faults.stats),
         )
 
 
@@ -249,6 +340,7 @@ def run_simulation(
     *,
     rate_schedules: Optional[Mapping[int, PiecewiseConstantRate]] = None,
     delay_policy: Optional[DelayPolicy] = None,
+    fault_plan: Optional[FaultPlan] = None,
 ) -> Execution:
     """Convenience wrapper: build a :class:`Simulator` and run it."""
     sim = Simulator(
@@ -257,5 +349,6 @@ def run_simulation(
         config,
         rate_schedules=rate_schedules,
         delay_policy=delay_policy,
+        fault_plan=fault_plan,
     )
     return sim.run()

@@ -23,6 +23,8 @@ __all__ = [
     "JUMP",
     "RATE",
     "START",
+    "CRASH",
+    "RECOVER",
 ]
 
 SEND = "send"
@@ -31,6 +33,8 @@ TIMER = "timer"
 JUMP = "jump"
 RATE = "rate"
 START = "start"
+CRASH = "crash"
+RECOVER = "recover"
 
 
 @dataclass(frozen=True)

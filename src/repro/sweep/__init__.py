@@ -2,11 +2,12 @@
 
 Everything one simulator run can tell you, this package asks at grid
 scale: a declarative :class:`SweepSpec` (topologies x algorithms x rate
-families x delay policies x seeds) expands into independent, picklable
+families x delay policies x fault families x seeds) expands into
+independent, picklable
 :class:`Job` cells, a :func:`run_jobs` pool fans them across processes
 with deterministic per-job seeding (identical metrics at any worker
 count), and the aggregate layer folds the metrics back into the same
-``Table``/``ExperimentResult`` shapes the E01..E12 experiments print.
+``Table``/``ExperimentResult`` shapes the E01..E13 experiments print.
 Results cache on disk keyed by job content hash, so re-running a grid
 costs only the cells that changed.
 
@@ -25,11 +26,14 @@ from repro.sweep.aggregate import (
 from repro.sweep.families import (
     ALGORITHM_KINDS,
     DELAY_POLICIES,
+    FAULT_FAMILIES,
     RATE_FAMILIES,
     TOPOLOGY_KINDS,
     algorithm_from_spec,
     delay_policy_from_spec,
     drifted_rates,
+    fault_plan_from_spec,
+    parse_fault_spec,
     rates_from_spec,
     spread_rates,
     topology_from_spec,
@@ -72,10 +76,13 @@ __all__ = [
     "ALGORITHM_KINDS",
     "RATE_FAMILIES",
     "DELAY_POLICIES",
+    "FAULT_FAMILIES",
     "topology_from_spec",
     "algorithm_from_spec",
     "rates_from_spec",
     "delay_policy_from_spec",
+    "fault_plan_from_spec",
+    "parse_fault_spec",
     "drifted_rates",
     "spread_rates",
     "wandering_rates",

@@ -8,7 +8,7 @@ consumers want:
   by scenario cell (topology x algorithm x rates x delays), averaging
   over seeds, in the style of the paper's evaluation tables;
 * :func:`sweep_result` — an ``ExperimentResult`` wrapping those tables,
-  so sweeps print exactly like experiments E01..E12;
+  so sweeps print exactly like experiments E01..E13;
 * :func:`to_json_payload` / :func:`write_json` — a machine-readable
   artifact with the spec, every job's metrics, and cache statistics.
 """
@@ -34,7 +34,7 @@ __all__ = [
 ]
 
 #: The axes that define one scenario cell (seeds are averaged within it).
-CELL_KEYS = ("topology", "algorithm", "rates", "delays")
+CELL_KEYS = ("topology", "algorithm", "rates", "delays", "faults")
 
 #: Metrics aggregated over seeds in the summary table.
 SUMMARY_METRICS = (

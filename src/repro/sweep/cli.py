@@ -11,6 +11,7 @@ from __future__ import annotations
 import argparse
 import json
 import os
+import re
 import sys
 import time
 
@@ -44,6 +45,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--delays", help="comma-separated delay policies (override preset)"
+    )
+    parser.add_argument(
+        "--faults",
+        help=(
+            "comma-separated fault families (override preset), e.g. "
+            "'none,loss:0.2,crash-recover:0.25,5' (a comma starts a new "
+            "family only before a name, so numeric arguments stay intact)"
+        ),
     )
     parser.add_argument("--seeds", type=int, help="number of seeds per cell")
     parser.add_argument("--duration", type=float, help="run length (real time)")
@@ -81,10 +90,15 @@ def _resolve_spec(args: argparse.Namespace) -> SweepSpec:
         ("algorithms", "algorithms"),
         ("rates", "rate_families"),
         ("delays", "delay_policies"),
+        ("faults", "fault_families"),
     ):
         value = getattr(args, flag)
         if value:
-            overrides[axis] = tuple(s.strip() for s in value.split(",") if s.strip())
+            # Split on commas that start a new family name, so numeric
+            # arguments inside a spec ("uniform:0.25,0.75",
+            # "crash-recover:0.25,5") survive intact.
+            parts = re.split(r",(?=[A-Za-z])", value)
+            overrides[axis] = tuple(s.strip() for s in parts if s.strip())
     if args.seeds is not None:
         overrides["seeds"] = tuple(range(args.seeds))
     if args.duration is not None:
@@ -112,7 +126,8 @@ def main(argv: list[str] | None = None) -> int:
         f"sweep '{spec.name}': {len(jobs)} jobs "
         f"({len(spec.topologies)} topologies x {len(spec.algorithms)} algorithms "
         f"x {len(spec.rate_families)} rate families x "
-        f"{len(spec.delay_policies)} delay policies x {len(spec.seeds)} seeds), "
+        f"{len(spec.delay_policies)} delay policies x "
+        f"{len(spec.fault_families)} fault families x {len(spec.seeds)} seeds), "
         f"{args.workers} worker(s)"
     )
     start = time.perf_counter()

@@ -16,6 +16,7 @@ re-exports them so existing experiment code keeps working.
 from __future__ import annotations
 
 import random
+import zlib
 from typing import Callable, Dict
 
 from repro._constants import DEFAULT_RHO
@@ -29,7 +30,8 @@ from repro.algorithms import (
     SrikanthTouegAlgorithm,
     SyncAlgorithm,
 )
-from repro.errors import SweepError
+from repro.errors import FaultError, SweepError
+from repro.sim.faults import FaultPlan
 from repro.sim.messages import (
     DelayPolicy,
     FixedFractionDelay,
@@ -49,10 +51,13 @@ __all__ = [
     "algorithm_from_spec",
     "rates_from_spec",
     "delay_policy_from_spec",
+    "fault_plan_from_spec",
+    "parse_fault_spec",
     "TOPOLOGY_KINDS",
     "ALGORITHM_KINDS",
     "RATE_FAMILIES",
     "DELAY_POLICIES",
+    "FAULT_FAMILIES",
 ]
 
 
@@ -258,3 +263,122 @@ def delay_policy_from_spec(spec: str) -> DelayPolicy:
         return DELAY_POLICIES[name](*values)
     except TypeError as exc:
         raise SweepError(f"{spec!r}: bad arguments ({exc})") from exc
+
+
+# ----------------------------------------------------------------------
+# fault families (the robustness axis; see repro.sim.faults)
+
+
+def _crash_plan(
+    topology: Topology,
+    seed: int,
+    horizon: float,
+    fraction: float,
+    downtime: float | None,
+) -> FaultPlan:
+    """Crash ``fraction`` of the nodes at staggered times mid-run.
+
+    At least one node crashes, at least one survives.  With ``downtime``
+    the crashes are crash-recovery windows; without, crash-stop.
+    """
+    if not 0.0 < fraction < 1.0:
+        raise SweepError(f"crash fraction must be in (0, 1), got {fraction}")
+    if downtime is not None and downtime <= 0.0:
+        raise SweepError(f"crash downtime must be positive, got {downtime}")
+    nodes = sorted(topology.nodes)
+    count = min(max(1, round(fraction * len(nodes))), len(nodes) - 1)
+    rng = random.Random((seed * 0x9E3779B1) ^ 0xC4A5)
+    plan = FaultPlan()
+    for node in sorted(rng.sample(nodes, count)):
+        at = rng.uniform(0.2 * horizon, 0.6 * horizon)
+        recover_at = None if downtime is None else min(at + downtime, horizon)
+        plan = plan.with_crash(node, at, recover_at=recover_at)
+    return plan
+
+
+def _churn_plan(
+    topology: Topology, seed: int, horizon: float, fraction: float, mean: float
+) -> FaultPlan:
+    """Random link up/down churn: each undirected link is down for
+    windows of mean length ``mean`` covering ~``fraction`` of the run."""
+    if not 0.0 < fraction < 1.0:
+        raise SweepError(f"churn fraction must be in (0, 1), got {fraction}")
+    if mean <= 0.0:
+        raise SweepError(f"churn window length must be positive, got {mean}")
+    rng = random.Random((seed * 0x9E3779B1) ^ 0xC0AB)
+    cycle = mean / fraction
+    plan = FaultPlan()
+    for a, b in topology.adjacent_pairs():
+        windows = []
+        t = rng.uniform(0.0, cycle)
+        while t < horizon:
+            end = min(t + mean, horizon)
+            if end > t:
+                windows.append((t, end))
+            t = end + rng.uniform(0.5, 1.5) * (cycle - mean)
+        if windows:
+            plan = plan.with_link_down(a, b, *windows)
+    return plan
+
+
+#: family -> builder(topology, seed, horizon, *numeric args) for fault
+#: plans: ``none``, ``loss:p``, ``duplicate:p``, ``reorder:p``,
+#: ``crash:frac`` (crash-stop), ``crash-recover:frac,downtime``,
+#: ``churn:frac,window``.
+FAULT_FAMILIES: Dict[str, Callable[..., FaultPlan]] = {
+    "none": lambda topology, seed, horizon: FaultPlan(),
+    "loss": lambda topology, seed, horizon, p: FaultPlan().with_link(loss=p),
+    "duplicate": lambda topology, seed, horizon, p: FaultPlan().with_link(
+        duplicate=p
+    ),
+    "reorder": lambda topology, seed, horizon, p: FaultPlan().with_link(
+        reorder=p
+    ),
+    "crash": lambda topology, seed, horizon, frac: _crash_plan(
+        topology, seed, horizon, frac, None
+    ),
+    "crash-recover": lambda topology, seed, horizon, frac, downtime: _crash_plan(
+        topology, seed, horizon, frac, downtime
+    ),
+    "churn": lambda topology, seed, horizon, frac, mean=5.0: _churn_plan(
+        topology, seed, horizon, frac, mean
+    ),
+}
+
+
+def parse_fault_spec(spec: str) -> tuple[str, list[float]]:
+    """Fail-fast parse of a fault spec string (no topology needed)."""
+    name, args = _split(spec)
+    if name not in FAULT_FAMILIES:
+        raise SweepError(
+            f"unknown fault family {spec!r}; families: {sorted(FAULT_FAMILIES)}"
+        )
+    try:
+        return name, [float(a) for a in args]
+    except ValueError as exc:
+        raise SweepError(f"{spec!r}: non-numeric argument") from exc
+
+
+def fault_plan_from_spec(
+    spec: str, topology: Topology, *, seed: int, horizon: float
+) -> FaultPlan:
+    """Instantiate a fault family for one run, e.g. ``"crash-recover:0.25,5"``.
+
+    The plan is salted with a hash of the spec string so distinct
+    families draw distinct fault-RNG streams under the same seed.
+    """
+    name, values = parse_fault_spec(spec)
+    try:
+        plan = FAULT_FAMILIES[name](topology, seed, horizon, *values)
+        plan.validate(topology)
+    except TypeError as exc:
+        raise SweepError(f"{spec!r}: bad arguments ({exc})") from exc
+    except FaultError as exc:
+        raise SweepError(f"{spec!r}: {exc}") from exc
+    if plan.is_empty():
+        return plan
+    return FaultPlan(
+        crashes=plan.crashes,
+        links=plan.links,
+        seed_salt=zlib.crc32(spec.encode()),
+    )

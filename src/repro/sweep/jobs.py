@@ -30,6 +30,7 @@ from repro.sim.simulator import SimConfig, run_simulation
 from repro.sweep.families import (
     algorithm_from_spec,
     delay_policy_from_spec,
+    fault_plan_from_spec,
     rates_from_spec,
     topology_from_spec,
 )
@@ -45,7 +46,7 @@ __all__ = [
 ]
 
 #: Bump when a job kind's semantics change, to invalidate stale caches.
-CACHE_VERSION = 1
+CACHE_VERSION = 2
 
 #: kind name -> (callable, defining module name)
 _JOB_KINDS: Dict[str, tuple[Callable[[Mapping[str, Any]], dict], str]] = {}
@@ -125,11 +126,13 @@ def execute_job(job: Job) -> JobOutcome:
 
 @job_kind("benign-run")
 def benign_run(params: Mapping[str, Any]) -> dict:
-    """One benign scenario cell -> skew and convergence metrics.
+    """One scenario cell -> skew and convergence metrics.
 
-    Params: ``topology``, ``algorithm``, ``rates``, ``delays`` (spec
-    strings), ``duration``, ``rho``, ``seed``, optional ``step`` (metric
-    sample step) and ``settle_threshold``.
+    Params: ``topology``, ``algorithm``, ``rates``, ``delays``,
+    ``faults`` (spec strings; ``faults`` defaults to ``"none"``),
+    ``duration``, ``rho``, ``seed``, optional ``step`` (metric sample
+    step), ``settle_threshold``, and ``trace_digest`` (record the trace
+    and include a SHA-256 of it — the determinism-contract probe).
     """
     topology = topology_from_spec(params["topology"])
     algorithm = algorithm_from_spec(params["algorithm"])
@@ -137,15 +140,21 @@ def benign_run(params: Mapping[str, Any]) -> dict:
     rho = float(params["rho"])
     seed = int(params["seed"])
     step = float(params.get("step", 1.0))
+    faults = str(params.get("faults", "none"))
+    digest = bool(params.get("trace_digest", False))
     rates = rates_from_spec(
         params["rates"], topology, rho=rho, seed=seed, horizon=duration
+    )
+    fault_plan = fault_plan_from_spec(
+        faults, topology, seed=seed, horizon=duration
     )
     execution = run_simulation(
         topology,
         algorithm.processes(topology),
-        SimConfig(duration=duration, rho=rho, seed=seed, record_trace=False),
+        SimConfig(duration=duration, rho=rho, seed=seed, record_trace=digest),
         rate_schedules=rates,
         delay_policy=delay_policy_from_spec(params["delays"]),
+        fault_plan=fault_plan,
     )
     skew = summarize(execution, step=step)
     threshold = float(
@@ -153,11 +162,22 @@ def benign_run(params: Mapping[str, Any]) -> dict:
     )
     settled = settling_time(execution, threshold, step=step)
     tail = steady_state(execution, step=step)
-    return {
+    # Messages that made it onto the wire minus those a crash destroyed
+    # at delivery time; link-level losses were never enqueued, so this
+    # counts surviving network traffic consistently across fault
+    # families (fault-free runs are unaffected: both counters are 0).
+    stats = execution.fault_stats or {}
+    messages = (
+        len(execution.messages)
+        - stats.get("lost_receiver_down", 0)
+        - stats.get("lost_in_flight", 0)
+    )
+    metrics = {
         "topology": params["topology"],
         "algorithm": params["algorithm"],
         "rates": params["rates"],
         "delays": params["delays"],
+        "faults": faults,
         "seed": seed,
         "n_nodes": int(topology.n),
         "diameter": float(topology.diameter),
@@ -170,5 +190,10 @@ def benign_run(params: Mapping[str, Any]) -> dict:
         "settle_threshold": threshold,
         "steady_mean_max_skew": float(tail.mean_max_skew),
         "steady_worst_adjacent_skew": float(tail.worst_adjacent_skew),
-        "messages": len(execution.messages),
+        "messages": messages,
+        "fault_events": stats,
     }
+    if digest:
+        blob = "\n".join(repr(e) for e in execution.trace.events)
+        metrics["trace_sha256"] = hashlib.sha256(blob.encode()).hexdigest()
+    return metrics

@@ -1,11 +1,11 @@
 """Declarative sweep grids.
 
 A :class:`SweepSpec` names *families* of scenarios — topologies,
-algorithms, rate schedules, delay policies, seeds — as compact spec
-strings (see :mod:`repro.sweep.families`).  ``spec.jobs()`` expands the
-cartesian product into independent ``benign-run`` jobs in a fixed,
-deterministic order; the runner may execute them in any order on any
-number of workers without changing a single metric.
+algorithms, rate schedules, delay policies, fault families, seeds — as
+compact spec strings (see :mod:`repro.sweep.families`).  ``spec.jobs()``
+expands the cartesian product into independent ``benign-run`` jobs in a
+fixed, deterministic order; the runner may execute them in any order on
+any number of workers without changing a single metric.
 """
 
 from __future__ import annotations
@@ -20,6 +20,7 @@ from repro.errors import SweepError
 from repro.sweep.families import (
     algorithm_from_spec,
     delay_policy_from_spec,
+    fault_plan_from_spec,
     topology_from_spec,
 )
 from repro.sweep.jobs import Job
@@ -35,6 +36,7 @@ class SweepSpec:
     algorithms: Sequence[str] = ("max-based",)
     rate_families: Sequence[str] = ("drifted",)
     delay_policies: Sequence[str] = ("uniform",)
+    fault_families: Sequence[str] = ("none",)
     seeds: Sequence[int] = (0,)
     duration: float = 30.0
     rho: float = DEFAULT_RHO
@@ -43,7 +45,7 @@ class SweepSpec:
 
     def __post_init__(self) -> None:
         for axis in ("topologies", "algorithms", "rate_families",
-                     "delay_policies", "seeds"):
+                     "delay_policies", "fault_families", "seeds"):
             if not getattr(self, axis):
                 raise SweepError(f"spec axis {axis!r} must be non-empty")
         if self.duration <= 0:
@@ -59,6 +61,12 @@ class SweepSpec:
             algorithm_from_spec(spec)
         for spec in self.delay_policies:
             delay_policy_from_spec(spec)
+        for spec in self.fault_families:
+            # Probe-build against a small topology so arity and value
+            # errors fail here, not inside a worker mid-sweep.
+            fault_plan_from_spec(
+                spec, topology_from_spec("line:3"), seed=0, horizon=1.0
+            )
         from repro.sweep.families import RATE_FAMILIES
 
         for spec in self.rate_families:
@@ -75,6 +83,7 @@ class SweepSpec:
             * len(self.algorithms)
             * len(self.rate_families)
             * len(self.delay_policies)
+            * len(self.fault_families)
             * len(self.seeds)
         )
 
@@ -82,11 +91,12 @@ class SweepSpec:
         """Expand the grid into ``benign-run`` jobs, in deterministic order."""
         self.validate()
         jobs = []
-        for topology, algorithm, rates, delays, seed in itertools.product(
+        for topology, algorithm, rates, delays, faults, seed in itertools.product(
             self.topologies,
             self.algorithms,
             self.rate_families,
             self.delay_policies,
+            self.fault_families,
             self.seeds,
         ):
             jobs.append(
@@ -97,6 +107,7 @@ class SweepSpec:
                         "algorithm": algorithm,
                         "rates": rates,
                         "delays": delays,
+                        "faults": faults,
                         "seed": int(seed),
                         "duration": self.duration,
                         "rho": self.rho,
@@ -119,7 +130,7 @@ class SweepSpec:
             raise SweepError(f"unknown SweepSpec fields: {sorted(extra)}")
         coerced = dict(payload)
         for axis in ("topologies", "algorithms", "rate_families",
-                     "delay_policies", "seeds"):
+                     "delay_policies", "fault_families", "seeds"):
             if axis in coerced:
                 coerced[axis] = tuple(coerced[axis])
         return cls(**coerced)
@@ -154,6 +165,7 @@ def full_spec(*, seeds: int = 5) -> SweepSpec:
         ),
         rate_families=("constant", "drifted", "spread", "wandering"),
         delay_policies=("half", "uniform"),
+        fault_families=("none", "loss:0.15", "crash-recover:0.25,8"),
         seeds=tuple(range(seeds)),
         duration=60.0,
         rho=0.2,

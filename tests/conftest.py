@@ -20,6 +20,15 @@ RHO = 0.5
 TAU = 1.0 / RHO
 
 
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "faults: fault/churn robustness suite (slower; select with -m faults, "
+        "skip with -m 'not faults')",
+    )
+    config.addinivalue_line("markers", "slow: long-running full-scale checks")
+
+
 @pytest.fixture(scope="session")
 def line9():
     """A 9-node line (diameter 8)."""

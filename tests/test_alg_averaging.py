@@ -2,6 +2,7 @@
 
 import pytest
 
+from _fault_helpers import assert_monotone_logical, run_crash_recovery
 from repro.algorithms import AveragingAlgorithm, NullAlgorithm
 from repro.sim.rates import PiecewiseConstantRate
 from repro.sim.simulator import SimConfig, run_simulation
@@ -53,3 +54,41 @@ class TestBehavior:
         ex = run_line(AveragingAlgorithm(period=0.5, pull=0.5), fast=5)
         jumps = [e for e in ex.trace.of_kind("jump") if e.node == 4]
         assert jumps, "neighbor of the fast node must adjust"
+
+
+@pytest.mark.faults
+class TestRecovery:
+    """Crash-recovery: monotone clock, stale estimates dropped, re-convergence."""
+
+    def test_recovered_clock_never_jumps_backward(self):
+        ex = run_crash_recovery(AveragingAlgorithm(period=0.5))
+        assert_monotone_logical(ex, 2)
+        ex.check_validity()
+
+    def test_reconverges_to_fault_free_skew(self):
+        ex = run_crash_recovery(AveragingAlgorithm(period=0.5))
+        assert ex.max_skew(16.5) > ex.max_skew(40.0)
+        assert ex.max_skew(40.0) < 4.0
+
+    def test_recovery_clears_stale_estimates(self):
+        from repro.algorithms.averaging import AveragingProcess
+
+        class Probe(AveragingProcess):
+            cleared_with = None
+
+            def recover(self, api):
+                Probe.cleared_with = len(self.estimates.known())
+                super().recover(api)
+                assert self.estimates.known() == []
+
+        topo = line(5)
+        procs = {n: Probe(0.5, 0.5) for n in topo.nodes}
+        from repro.sim.faults import FaultPlan
+        run_simulation(
+            topo,
+            procs,
+            SimConfig(duration=30.0, rho=RHO, seed=0),
+            fault_plan=FaultPlan().with_crash(2, at=8.0, recover_at=16.0),
+        )
+        # The crashed node had neighbor estimates to discard.
+        assert Probe.cleared_with and Probe.cleared_with > 0

@@ -2,6 +2,7 @@
 
 import pytest
 
+from _fault_helpers import assert_monotone_logical, run_crash_recovery
 from repro.algorithms import MaxBasedAlgorithm, NullAlgorithm
 from repro.sim.messages import PerPairDelay
 from repro.sim.rates import PiecewiseConstantRate
@@ -81,3 +82,27 @@ class TestGradientViolation:
         ex = run_simulation(topo, procs, SimConfig(duration=5.0, seed=0))
         # Receiving garbage must not move the clock.
         assert ex.logical[1].total_jump() == 0.0
+
+
+@pytest.mark.faults
+class TestRecovery:
+    """Crash-recovery semantics: the recovered clock stays monotone
+    (Validity) and the network re-converges to its fault-free skew."""
+
+    def test_recovered_clock_never_jumps_backward(self):
+        ex = run_crash_recovery(MaxBasedAlgorithm(period=0.5))
+        assert_monotone_logical(ex, 2)
+        ex.check_validity()
+
+    def test_reconverges_to_fault_free_skew(self):
+        ex = run_crash_recovery(MaxBasedAlgorithm(period=0.5))
+        # Elevated right after the outage, back to baseline by the end.
+        assert ex.max_skew(16.5) > ex.max_skew(40.0)
+        assert ex.max_skew(40.0) < 3.5
+
+    def test_recovered_node_rejoins_gossip(self):
+        ex = run_crash_recovery(MaxBasedAlgorithm(period=0.5))
+        assert [
+            e for e in ex.trace.of_kind("send")
+            if e.node == 2 and e.real_time >= 16.0
+        ]

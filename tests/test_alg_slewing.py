@@ -2,6 +2,7 @@
 
 import pytest
 
+from _fault_helpers import assert_monotone_logical, run_crash_recovery
 from repro.algorithms import MaxBasedAlgorithm, NullAlgorithm, SlewingMaxAlgorithm
 from repro.sim.messages import PerPairDelay
 from repro.sim.rates import PiecewiseConstantRate
@@ -76,3 +77,25 @@ class TestBehavior:
 
         names = [a.name for a in standard_suite()]
         assert "slewing-max" in names
+
+
+@pytest.mark.faults
+class TestRecovery:
+    """Crash-recovery: monotone clock and re-convergence under slewing."""
+
+    def test_recovered_clock_never_jumps_backward(self):
+        ex = run_crash_recovery(SlewingMaxAlgorithm(period=0.5))
+        assert_monotone_logical(ex, 2)
+        ex.check_validity()
+
+    def test_reconverges_to_fault_free_skew(self):
+        ex = run_crash_recovery(SlewingMaxAlgorithm(period=0.5))
+        assert ex.max_skew(16.5) > ex.max_skew(40.0)
+        assert ex.max_skew(40.0) < 3.5
+
+    def test_recovered_node_rejoins_gossip(self):
+        ex = run_crash_recovery(SlewingMaxAlgorithm(period=0.5))
+        assert [
+            e for e in ex.trace.of_kind("send")
+            if e.node == 2 and e.real_time >= 16.0
+        ]

@@ -2,6 +2,7 @@
 
 import pytest
 
+from _fault_helpers import assert_monotone_logical, run_crash_recovery
 from repro.algorithms import SrikanthTouegAlgorithm
 from repro.sim.rates import PiecewiseConstantRate
 from repro.sim.simulator import SimConfig, run_simulation
@@ -68,3 +69,29 @@ class TestRounds:
                 per_node[e.node].append(e.detail[1][1])
         for rounds in per_node.values():
             assert rounds == sorted(rounds)
+
+
+@pytest.mark.faults
+class TestRecovery:
+    """Crash-recovery: the rejoining node adopts the current round
+    without re-broadcasting stale ones, and skew re-converges."""
+
+    def test_recovered_clock_never_jumps_backward(self):
+        ex = run_crash_recovery(SrikanthTouegAlgorithm(round_length=4.0))
+        assert_monotone_logical(ex, 2)
+        ex.check_validity()
+
+    def test_reconverges_to_fault_free_skew(self):
+        ex = run_crash_recovery(SrikanthTouegAlgorithm(round_length=4.0))
+        assert ex.max_skew(16.5) > ex.max_skew(40.0)
+        assert ex.max_skew(40.0) < 4.0
+
+    def test_no_stale_round_flood_on_rejoin(self):
+        ex = run_crash_recovery(SrikanthTouegAlgorithm(round_length=4.0))
+        # Resync broadcasts from node 2 right at recovery would carry
+        # rounds it slept through; on_recover adopts instead of relaying.
+        rejoin_sends = [
+            e for e in ex.trace.of_kind("send")
+            if e.node == 2 and abs(e.real_time - 16.0) < 1e-9
+        ]
+        assert rejoin_sends == []

@@ -108,6 +108,20 @@ class TestLogicalClockHistory:
         lc.jump_by(2.0, 3.0)  # L goes 2 -> 5 at t=2
         assert lc.time_at(3.5) == pytest.approx(2.0)
 
+    def test_time_at_never_lands_before_its_segment(self):
+        """Regression: under a drifting schedule, float error in the
+        hardware inversion could land a hair *before* a jump instant,
+        silently losing the jump in value_at(time_at(v))."""
+        schedule = PiecewiseConstantRate(
+            starts=(0.0, 0.5680261567874192), rates=(0.9375, 1.0)
+        )
+        lc = LogicalClock(HardwareClock(schedule, 0.5))
+        lc.jump_by(5.0, 1.0)
+        value = lc.value_at(5.0)  # the post-jump value, exactly
+        back = lc.time_at(value)
+        assert back >= 5.0
+        assert lc.value_at(back) >= value - 1e-7
+
     def test_initial_value(self):
         lc = LogicalClock(hw(), initial_value=10.0)
         assert lc.read(0.0) == 10.0

@@ -14,8 +14,9 @@ from repro.experiments.cli import main as cli_main
 
 class TestRegistry:
     def test_all_experiments_present(self):
-        # E01-E11 reproduce the paper; E12 is the Section 9 extension.
-        assert sorted(REGISTRY) == [f"E{k:02d}" for k in range(1, 13)]
+        # E01-E11 reproduce the paper; E12 (Section 9 candidates) and
+        # E13 (fault robustness) are the extensions.
+        assert sorted(REGISTRY) == [f"E{k:02d}" for k in range(1, 14)]
 
     def test_unknown_id_raises(self):
         with pytest.raises(ExperimentError):

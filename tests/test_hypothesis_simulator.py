@@ -7,7 +7,10 @@ the invariants every execution must satisfy regardless:
   model band ``[0, d_ij]``;
 * per-node trace hardware readings are nondecreasing in time;
 * logical clocks satisfy validity;
-* replaying the recorded delays reproduces the run.
+* replaying the recorded delays reproduces the run;
+* the fault determinism contract: an empty ``FaultPlan`` reproduces the
+  fault-free trace exactly, and identical (plan, seed) pairs reproduce
+  each other.
 """
 
 import random
@@ -20,6 +23,7 @@ from repro.algorithms import (
     MaxBasedAlgorithm,
     SlewingMaxAlgorithm,
 )
+from repro.sim.faults import FaultPlan
 from repro.sim.messages import UniformRandomDelay
 from repro.sim.rates import PiecewiseConstantRate
 from repro.sim.replay import verify_replay
@@ -52,7 +56,7 @@ def scenarios(draw):
     return topo, rho, seed, rates, alg_name, (lo, hi)
 
 
-def run_scenario(scenario, duration=12.0):
+def run_scenario(scenario, duration=12.0, fault_plan=None):
     topo, rho, seed, rates, alg_name, (lo, hi) = scenario
     alg = ALGORITHMS[alg_name]()
     return (
@@ -62,9 +66,37 @@ def run_scenario(scenario, duration=12.0):
             SimConfig(duration=duration, rho=rho, seed=seed),
             rate_schedules=rates,
             delay_policy=UniformRandomDelay(lo, hi),
+            fault_plan=fault_plan,
         ),
         alg_name,
     )
+
+
+@st.composite
+def fault_plans(draw, n_nodes: int, duration: float = 12.0):
+    """A random non-trivial fault plan over ``n_nodes`` nodes."""
+    plan = FaultPlan(seed_salt=draw(st.integers(min_value=0, max_value=2**16)))
+    if draw(st.booleans()):
+        node = draw(st.integers(min_value=0, max_value=n_nodes - 1))
+        at = draw(st.floats(min_value=0.5, max_value=duration * 0.6))
+        recover_at = (
+            at + draw(st.floats(min_value=0.5, max_value=duration * 0.3))
+            if draw(st.booleans())
+            else None
+        )
+        plan = plan.with_crash(node, at, recover_at=recover_at)
+    if draw(st.booleans()):
+        plan = plan.with_link(
+            loss=draw(st.sampled_from([0.0, 0.1, 0.4])),
+            duplicate=draw(st.sampled_from([0.0, 0.2])),
+            reorder=draw(st.sampled_from([0.0, 0.3])),
+        )
+    if draw(st.booleans()):
+        t0 = draw(st.floats(min_value=0.0, max_value=duration / 2))
+        plan = plan.with_link_down(
+            0, 1, (t0, t0 + draw(st.floats(min_value=0.5, max_value=duration / 2)))
+        )
+    return plan
 
 
 @given(scenarios())
@@ -98,6 +130,40 @@ def test_validity_always_holds(scenario):
 def test_replay_reproduces_random_runs(scenario):
     ex, alg_name = run_scenario(scenario)
     verify_replay(ex, ALGORITHMS[alg_name]())
+
+
+@given(scenarios())
+@settings(max_examples=20, deadline=None)
+def test_empty_fault_plan_reproduces_fault_free_trace(scenario):
+    """The fault machinery is free when unused: byte-identical traces."""
+    bare, _ = run_scenario(scenario)
+    empty, _ = run_scenario(scenario, fault_plan=FaultPlan())
+    assert bare.trace.events == empty.trace.events
+    assert bare.messages == empty.messages
+
+
+@given(st.data())
+@settings(max_examples=20, deadline=None)
+def test_same_fault_plan_and_seed_reproduce_each_other(data):
+    """Identical (plan, seed): identical traces, messages and counters."""
+    scenario = data.draw(scenarios())
+    plan = data.draw(fault_plans(n_nodes=scenario[0].n))
+    first, _ = run_scenario(scenario, fault_plan=plan)
+    second, _ = run_scenario(scenario, fault_plan=plan)
+    assert first.trace.events == second.trace.events
+    assert first.messages == second.messages
+    assert first.fault_stats == second.fault_stats
+
+
+@given(st.data())
+@settings(max_examples=15, deadline=None)
+def test_validity_holds_under_faults(data):
+    """Crashes and link faults cannot break Requirement 1."""
+    scenario = data.draw(scenarios())
+    plan = data.draw(fault_plans(n_nodes=scenario[0].n))
+    ex, _ = run_scenario(scenario, fault_plan=plan)
+    ex.check_validity()
+    ex.check_delay_bounds()
 
 
 @given(scenarios())

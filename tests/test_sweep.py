@@ -13,6 +13,7 @@ import pytest
 
 from repro.algorithms import MaxBasedAlgorithm
 from repro.errors import SweepError
+from repro.sim.faults import FaultPlan
 from repro.sweep import (
     Job,
     ResultCache,
@@ -20,6 +21,7 @@ from repro.sweep import (
     algorithm_from_spec,
     delay_policy_from_spec,
     execute_job,
+    fault_plan_from_spec,
     job_hash,
     quick_spec,
     run_jobs,
@@ -29,6 +31,7 @@ from repro.sweep import (
     topology_from_spec,
     write_json,
 )
+from repro.sweep.aggregate import CELL_KEYS
 from repro.sweep.spec import full_spec
 
 TINY = SweepSpec(
@@ -65,6 +68,34 @@ class TestFamilies:
         policy = delay_policy_from_spec("fraction:0.25")
         assert policy.delay(0, 1, 0.0, 4.0, 0, None) == 1.0
 
+    def test_fault_specs(self):
+        topo = topology_from_spec("line:6")
+        assert fault_plan_from_spec("none", topo, seed=0, horizon=30.0).is_empty()
+        lossy = fault_plan_from_spec("loss:0.2", topo, seed=0, horizon=30.0)
+        assert lossy.links and lossy.links[0].loss == 0.2
+        crash = fault_plan_from_spec("crash:0.3", topo, seed=0, horizon=30.0)
+        assert crash.crashes and all(c.recover_at is None for c in crash.crashes)
+        recover = fault_plan_from_spec(
+            "crash-recover:0.3,5", topo, seed=0, horizon=30.0
+        )
+        assert all(c.recover_at is not None for c in recover.crashes)
+        churn = fault_plan_from_spec("churn:0.25,4", topo, seed=0, horizon=30.0)
+        assert churn.links and all(f.down for f in churn.links)
+
+    def test_fault_plans_deterministic_per_seed(self):
+        topo = topology_from_spec("ring:8")
+        build = lambda s: fault_plan_from_spec(
+            "crash-recover:0.25,5", topo, seed=s, horizon=40.0
+        )
+        assert build(3) == build(3)
+        assert build(3) != build(4)
+
+    def test_distinct_fault_specs_get_distinct_salts(self):
+        topo = topology_from_spec("line:5")
+        a = fault_plan_from_spec("loss:0.2", topo, seed=0, horizon=30.0)
+        b = fault_plan_from_spec("loss:0.3", topo, seed=0, horizon=30.0)
+        assert a.seed_salt != b.seed_salt
+
     @pytest.mark.parametrize(
         "builder, spec",
         [
@@ -80,6 +111,21 @@ class TestFamilies:
     def test_unknown_specs_raise(self, builder, spec):
         with pytest.raises(SweepError):
             builder(spec)
+
+    @pytest.mark.parametrize(
+        "spec", ["heisenbug", "loss:high", "loss", "loss:1.5", "crash:1.5",
+                 "crash-recover:0.3", "churn:0.2,0"]
+    )
+    def test_bad_fault_specs_raise(self, spec):
+        topo = topology_from_spec("line:5")
+        with pytest.raises(SweepError):
+            fault_plan_from_spec(spec, topo, seed=0, horizon=30.0)
+
+    @pytest.mark.parametrize("spec", ["loss", "loss:1.5", "crash-recover:0.3"])
+    def test_bad_fault_specs_fail_at_spec_validation(self, spec):
+        # Fail-fast parity with the other axes: before any forking.
+        with pytest.raises(SweepError):
+            SweepSpec(fault_families=(spec,)).jobs()
 
 
 class TestSpec:
@@ -131,6 +177,89 @@ class TestDeterminism:
     def test_workers_must_be_positive(self):
         with pytest.raises(SweepError):
             run_jobs(TINY.jobs(), workers=0)
+
+
+@pytest.mark.faults
+class TestFaultAxisDeterminism:
+    """The robustness axis keeps the engine's determinism contract."""
+
+    FAULTED = SweepSpec(
+        name="faulted",
+        topologies=("line:5",),
+        algorithms=("max-based", "averaging"),
+        rate_families=("drifted",),
+        delay_policies=("uniform",),
+        fault_families=("none", "loss:0.3", "crash-recover:0.3,4", "churn:0.3,3"),
+        seeds=(0, 1),
+        duration=12.0,
+        rho=0.2,
+    )
+
+    @pytest.fixture(scope="class")
+    def digest_jobs(self):
+        # trace_digest folds the *entire* trace into the metrics, so
+        # worker-count comparisons check trace identity, not just skew.
+        return [
+            Job(kind=j.kind, params={**j.params, "trace_digest": True})
+            for j in self.FAULTED.jobs()
+        ]
+
+    @pytest.fixture(scope="class")
+    def serial_outcomes(self, digest_jobs):
+        return run_jobs(digest_jobs, workers=1)
+
+    @pytest.mark.parametrize("workers", [2, 4])
+    def test_identical_traces_at_any_worker_count(
+        self, digest_jobs, serial_outcomes, workers
+    ):
+        parallel = run_jobs(digest_jobs, workers=workers)
+        assert metrics_of(parallel) == metrics_of(serial_outcomes)
+        assert all("trace_sha256" in o.metrics for o in parallel)
+
+    def test_empty_fault_family_matches_plain_benign_run(self):
+        faulted = execute_job(
+            Job(
+                kind="benign-run",
+                params={
+                    "topology": "line:5",
+                    "algorithm": "max-based",
+                    "rates": "drifted",
+                    "delays": "uniform",
+                    "faults": "none",
+                    "seed": 0,
+                    "duration": 10.0,
+                    "rho": 0.2,
+                    "trace_digest": True,
+                },
+            )
+        )
+        # The same cell without the fault key at all (pre-fault-axis shape).
+        legacy = execute_job(
+            Job(
+                kind="benign-run",
+                params={
+                    "topology": "line:5",
+                    "algorithm": "max-based",
+                    "rates": "drifted",
+                    "delays": "uniform",
+                    "seed": 0,
+                    "duration": 10.0,
+                    "rho": 0.2,
+                    "trace_digest": True,
+                },
+            )
+        )
+        assert faulted.metrics["trace_sha256"] == legacy.metrics["trace_sha256"]
+        assert faulted.metrics["fault_events"] == {}
+
+    def test_faulted_cells_actually_inject(self, serial_outcomes):
+        injected = [
+            o for o in serial_outcomes if o.metrics["faults"] != "none"
+        ]
+        assert injected
+        assert all(
+            sum(o.metrics["fault_events"].values()) > 0 for o in injected
+        )
 
 
 class TestCache:
@@ -188,7 +317,8 @@ class TestAggregation:
         table = summary_table(outcomes, title="t")
         # 4 cells (2 topologies x 2 algorithms), each averaging 2 seeds.
         assert len(table.rows) == 4
-        assert all(row[4] == "2" for row in table.rows)
+        seeds_column = len(CELL_KEYS)
+        assert all(row[seeds_column] == "2" for row in table.rows)
 
     def test_sweep_result_renders(self, outcomes):
         result = sweep_result(TINY, outcomes, include_seed_rows=True)
@@ -211,6 +341,28 @@ class TestExperimentIntegration:
         serial = run_experiment("E05", workers=1)
         parallel = run_experiment("E05", workers=2)
         assert serial.tables[0].rows == parallel.tables[0].rows
+
+    @pytest.mark.faults
+    @pytest.mark.parametrize("workers", [2, 4])
+    def test_e13_identical_across_worker_counts(self, workers):
+        from repro.experiments import run_experiment
+
+        serial = run_experiment("E13", workers=1)
+        parallel = run_experiment("E13", workers=workers)
+        assert serial.tables[0].rows == parallel.tables[0].rows
+        assert serial.data["curves"] == parallel.data["curves"]
+
+    @pytest.mark.faults
+    def test_e13_reports_every_ladder_rung(self):
+        from repro.experiments import run_experiment
+
+        result = run_experiment("E13", workers=2)
+        faults = {row[2] for row in result.tables[0].rows}
+        assert "none" in faults and len(faults) >= 4
+        # Baseline rows are exactly 1x themselves.
+        for row in result.tables[0].rows:
+            if row[2] == "none":
+                assert float(row[6]) == pytest.approx(1.0)
 
     def test_unported_experiment_ignores_workers(self):
         from repro.experiments import run_experiment
@@ -242,9 +394,38 @@ class TestSweepCLI:
         assert "SWEEP" in out and "line:5" in out
         assert (tmp_path / "out.json").exists()
 
+    @pytest.mark.faults
+    def test_sweep_verb_accepts_fault_axis(self, capsys):
+        from repro.experiments.cli import main as cli_main
+
+        code = cli_main(
+            [
+                "sweep",
+                "--topologies", "line:5",
+                "--algorithms", "max-based",
+                "--rates", "drifted",
+                # Commas inside a family's numeric args must survive.
+                "--faults", "none,loss:0.3,crash-recover:0.3,4",
+                "--seeds", "1",
+                "--duration", "8",
+                "--workers", "2",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "3 fault families" in out
+        assert "crash-recover:0.3,4" in out
+
     def test_sweep_verb_bad_spec_exits_nonzero(self, capsys):
         from repro.experiments.cli import main as cli_main
 
         code = cli_main(["sweep", "--topologies", "klein-bottle:4"])
         assert code == 2
         assert "unknown topology" in capsys.readouterr().err
+
+    def test_sweep_verb_bad_fault_family_exits_nonzero(self, capsys):
+        from repro.experiments.cli import main as cli_main
+
+        code = cli_main(["sweep", "--faults", "heisenbug:0.5"])
+        assert code == 2
+        assert "unknown fault family" in capsys.readouterr().err
