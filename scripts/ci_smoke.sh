@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # CI smoke: tier-1 tests, then one quick-scale parallel sweep end-to-end,
 # then the fault/robustness suite (E13 + the `faults`-marked tests),
-# then the sweep-engine benchmark (serial-vs-parallel + cache recall).
+# then the live runtime (a <=10s virtual-time demo, a UDP E14 quick cell,
+# and the E14 sim-vs-live table), then the engine benchmarks.
 #
 # Usage: bash scripts/ci_smoke.sh
 # Documented in README.md ("Tests and benchmarks").
@@ -41,8 +42,34 @@ grep -q "3 fault families" "$ARTIFACTS/fault_sweep.txt" \
     || { echo "error: sweep CLI did not expand the fault axis" >&2; exit 1; }
 
 echo
+echo "== live runtime (repro.rt) =="
+# A virtual-time live demo: 10 sim units, milliseconds of wall clock.
+python -m repro.experiments live --alg gradient --topology line --nodes 8 \
+    --transport virtual --duration 10 > "$ARTIFACTS/live_virtual.txt"
+grep -q "live-virtual" "$ARTIFACTS/live_virtual.txt" \
+    || { echo "error: virtual live demo produced no summary" >&2; exit 1; }
+# One E14 quick cell on the UDP backend: one OS process per node,
+# bounded skew, well under the 30s budget.
+timeout 30 python -m repro.experiments live --alg gradient --topology line \
+    --nodes 4 --transport udp --duration 6 --time-scale 0.2 \
+    > "$ARTIFACTS/live_udp.txt"
+grep -q "live-udp" "$ARTIFACTS/live_udp.txt" \
+    || { echo "error: udp live cell produced no summary" >&2; exit 1; }
+# The sim-vs-live comparison table end to end.
+python -m repro.experiments E14 --scale quick > "$ARTIFACTS/e14.txt"
+grep -q "d final vs sim" "$ARTIFACTS/e14.txt" \
+    || { echo "error: E14 produced no comparison table" >&2; exit 1; }
+if grep -q " NO " "$ARTIFACTS/e14.txt"; then
+    echo "error: an E14 cell blew the skew bound" >&2; exit 1
+fi
+
+echo
 echo "== sweep engine benchmark =="
 python benchmarks/bench_sweep.py
+
+echo
+echo "== live runtime benchmark =="
+python benchmarks/bench_rt.py
 
 echo
 echo "ci_smoke: all green"

@@ -6,11 +6,12 @@ README = Path(__file__).parent / "README.md"
 
 setup(
     name="repro-gradient-clock-sync",
-    version="1.0.0",
+    version="1.1.0",
     description=(
         "Executable reproduction of 'Gradient Clock Synchronization' "
         "(Fan & Lynch, PODC 2004): simulator, lower-bound adversaries, "
-        "experiments E01-E12, and a parallel scenario-sweep engine"
+        "experiments E01-E14, a parallel scenario-sweep engine, and a "
+        "live runtime (virtual-time / asyncio / UDP transports)"
     ),
     long_description=README.read_text() if README.exists() else "",
     long_description_content_type="text/markdown",
@@ -29,6 +30,7 @@ setup(
     entry_points={
         "console_scripts": [
             "repro-experiments = repro.experiments.cli:main",
+            "repro-live = repro.rt.cli:main",
         ],
     },
     classifiers=[

@@ -16,11 +16,15 @@ The package provides:
   adversary, all executable and verified;
 * :mod:`repro.apps` — the motivating applications (TDMA, data fusion,
   target tracking);
-* :mod:`repro.experiments` — runnable reproductions E01-E13 of every
+* :mod:`repro.experiments` — runnable reproductions E01-E14 of every
   evaluation artifact in the paper (plus extensions beyond it, like the
-  E13 fault-robustness sweep);
+  E13 fault-robustness sweep and the E14 sim-vs-live comparison);
 * :mod:`repro.sweep` — the parallel scenario-sweep engine, including
-  the fault & churn axis built on :class:`repro.sim.FaultPlan`.
+  the fault & churn axis built on :class:`repro.sim.FaultPlan`;
+* :mod:`repro.rt` — the live runtime: the same unchanged algorithm
+  processes on real transports (deterministic virtual time, wall-clock
+  asyncio, one-process-per-node UDP), recorded as real ``Execution``
+  objects.
 
 Quickstart::
 
@@ -79,7 +83,7 @@ from repro.topology import (
     ring,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",

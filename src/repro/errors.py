@@ -63,3 +63,9 @@ class SweepError(ReproError):
 
 class FaultError(ReproError):
     """A fault plan is malformed (unknown nodes, bad probabilities, ...)."""
+
+
+class RtError(ReproError):
+    """The live runtime (:mod:`repro.rt`) hit an unusable configuration
+    or a transport-level failure (bad transport name, spawn failure,
+    a node process that never reported back, ...)."""

@@ -1,7 +1,7 @@
 """Experiment registry: every evaluation artifact of the paper, runnable.
 
 Each experiment is a function ``run(scale, *, seed) -> ExperimentResult``;
-the registry maps experiment ids (E01..E13) to them.  Benchmarks wrap the
+the registry maps experiment ids (E01..E14) to them.  Benchmarks wrap the
 same runners, and ``python -m repro.experiments E02`` runs one from the
 command line.
 """
@@ -24,6 +24,7 @@ from repro.experiments import (
     e11_properties,
     e12_candidates,
     e13_robustness,
+    e14_live,
 )
 from repro.experiments.common import ExperimentResult
 
@@ -43,6 +44,7 @@ REGISTRY: dict[str, Callable[..., ExperimentResult]] = {
     "E11": e11_properties.run,
     "E12": e12_candidates.run,
     "E13": e13_robustness.run,
+    "E14": e14_live.run,
 }
 
 

@@ -1,23 +1,45 @@
-"""Command-line entry point: ``python -m repro.experiments [ids|sweep]``.
+"""Command-line entry point: ``python -m repro.experiments [ids|sweep|live]``.
 
-Two verbs share the entry point: bare experiment ids (``E01``..``E12``)
-run individual reproductions, and ``sweep`` dispatches to the parallel
-scenario-sweep engine (see :mod:`repro.sweep.cli`)::
+Three verbs share the entry point: bare experiment ids (``E01``..``E14``)
+run individual reproductions, ``sweep`` dispatches to the parallel
+scenario-sweep engine (:mod:`repro.sweep.cli`), and ``live`` runs an
+algorithm on a real transport through the live runtime
+(:mod:`repro.rt.cli`)::
 
     python -m repro.experiments E03 E05 --workers 4
     python -m repro.experiments sweep --quick --workers 4
+    python -m repro.experiments live --alg gradient --topology line \\
+        --nodes 8 --transport virtual
 """
 
 from __future__ import annotations
 
 import argparse
+import inspect
 import sys
 import time
 
-from repro.errors import ExperimentError, SweepError
+from repro.errors import ReproError
 from repro.experiments import REGISTRY, run_experiment
 
-__all__ = ["main"]
+__all__ = ["main", "list_experiments"]
+
+
+def list_experiments() -> str:
+    """The registry, one line per experiment: id, title, scale knobs."""
+    lines = []
+    for key in sorted(REGISTRY):
+        runner = REGISTRY[key]
+        doc = (runner.__doc__ or "").strip().splitlines()
+        title = doc[0] if doc else ""
+        knobs = [
+            name
+            for name, param in inspect.signature(runner).parameters.items()
+            if param.kind is param.KEYWORD_ONLY
+        ]
+        lines.append(f"{key}: {title}")
+        lines.append(f"     scales: quick, full; knobs: {', '.join(knobs) or '-'}")
+    return "\n".join(lines)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -26,20 +48,25 @@ def main(argv: list[str] | None = None) -> int:
         from repro.sweep.cli import main as sweep_main
 
         return sweep_main(argv[1:])
+    if argv and argv[0] == "live":
+        from repro.rt.cli import main as live_main
+
+        return live_main(argv[1:])
 
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
         description=(
             "Run reproduction experiments for 'Gradient Clock "
             "Synchronization' (Fan & Lynch, PODC 2004).  Use the 'sweep' "
-            "verb for parallel scenario grids."
+            "verb for parallel scenario grids and the 'live' verb to run "
+            "algorithms on real transports."
         ),
     )
     parser.add_argument(
         "ids",
         nargs="*",
         metavar="ID",
-        help="experiment ids (E01..E13), or 'sweep'; default: all",
+        help="experiment ids (E01..E14), or 'sweep' / 'live'; default: all",
     )
     parser.add_argument(
         "--scale",
@@ -60,26 +87,25 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
 
     if args.list:
-        for key in sorted(REGISTRY):
-            doc = (REGISTRY[key].__doc__ or "").strip().splitlines()
-            print(f"{key}: {doc[0] if doc else ''}")
+        print(list_experiments())
         return 0
 
     ids = [i.upper() for i in args.ids] or sorted(REGISTRY)
-    if "SWEEP" in ids:
-        print(
-            "error: the 'sweep' verb must come first: "
-            "python -m repro.experiments sweep [sweep options]",
-            file=sys.stderr,
-        )
-        return 2
+    for verb in ("SWEEP", "LIVE"):
+        if verb in ids:
+            print(
+                f"error: the '{verb.lower()}' verb must come first: "
+                f"python -m repro.experiments {verb.lower()} [options]",
+                file=sys.stderr,
+            )
+            return 2
     for experiment_id in ids:
         start = time.time()
         try:
             result = run_experiment(
                 experiment_id, args.scale, seed=args.seed, workers=args.workers
             )
-        except (ExperimentError, SweepError) as exc:
+        except ReproError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
         print(result.render())

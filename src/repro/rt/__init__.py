@@ -1,0 +1,52 @@
+"""repro.rt — the live runtime: paper algorithms on real transports.
+
+Everything else in this repository executes inside the discrete-event
+:class:`~repro.sim.simulator.Simulator`.  This package executes the very
+same, unchanged :class:`~repro.sim.node.Process` algorithm classes
+*outside* it:
+
+* :class:`HostClock` realizes the paper's Assumption-1 drift model over
+  ``time.monotonic()`` — piecewise rates, never-backwards, lossless
+  rate rebinding;
+* :class:`LiveNode` hosts a process behind the standard
+  :class:`~repro.sim.node.NodeAPI`, so algorithm code needs zero changes;
+* three :class:`Transport` backends carry the messages:
+  :class:`VirtualTimeTransport` (deterministic, simulator-equivalent —
+  the cross-validation anchor), :class:`InProcAsyncioTransport` (real
+  wall-clock asyncio), and the UDP backend (:func:`repro.rt.udp.run_udp`,
+  one OS process per node, length-prefixed JSON datagrams);
+* every run is recorded as a real
+  :class:`~repro.sim.execution.Execution`, so skew, gradient-profile,
+  and model-compliance queries — and all of :mod:`repro.analysis` —
+  apply to live runs verbatim.
+
+Entry points: :func:`run_live` in code, the ``live`` CLI verb
+(``python -m repro.experiments live`` / ``repro-live``) from the shell,
+the ``live-run`` sweep job kind for grids, and experiment E14 for the
+sim-vs-live comparison table.
+"""
+
+from repro.rt.asyncio_transport import InProcAsyncioTransport
+from repro.rt.hostclock import HostClock
+from repro.rt.jobs import live_run
+from repro.rt.node import LiveNode
+from repro.rt.recorder import LiveRecorder, build_execution, merge_recorders
+from repro.rt.run import LiveRunConfig, run_live, with_transport
+from repro.rt.transport import TRANSPORT_NAMES, Transport
+from repro.rt.virtual import VirtualTimeTransport
+
+__all__ = [
+    "HostClock",
+    "LiveNode",
+    "LiveRecorder",
+    "LiveRunConfig",
+    "Transport",
+    "TRANSPORT_NAMES",
+    "VirtualTimeTransport",
+    "InProcAsyncioTransport",
+    "build_execution",
+    "merge_recorders",
+    "live_run",
+    "run_live",
+    "with_transport",
+]

@@ -1,0 +1,205 @@
+"""A drifting hardware clock realized over a *real* time source.
+
+The simulator evaluates Assumption 1 analytically: a hardware clock is
+the exact integral of a piecewise-constant rate schedule over virtual
+time.  :class:`HostClock` realizes the same model over
+``time.monotonic()`` (or any injected source), the way a live sync
+client does (cf. the ``LocalClock`` of Cristian-style clients:
+``L_base + elapsed * rate`` with the base re-bound at every rate
+change).  Three guarantees matter and are property-tested:
+
+* **monotone** — readings never go backwards, even if the underlying
+  source jitters (the never-backwards clamp on :meth:`elapsed`);
+* **Assumption 1** — every rate lies in ``[1 - rho, 1 + rho]``, so any
+  two readings satisfy the drift envelope
+  ``(1 - rho) dt <= dH <= (1 + rho) dt``;
+* **lossless rebinding** — :meth:`set_rate` closes the current segment
+  at the reading it has reached; no elapsed time is dropped or double
+  counted at the boundary (the live analogue of the
+  ``LogicalClock.time_at`` bug class fixed in PR 2).
+
+Time units: ``elapsed`` and all derived quantities are in *simulation
+time units*; ``time_scale`` says how many wall seconds one unit takes,
+so slowed-down (``time_scale > 1``) and accelerated (``< 1``) live runs
+share one clock implementation.
+"""
+
+from __future__ import annotations
+
+import time
+from bisect import bisect_right
+from typing import Callable, Optional
+
+from repro._constants import DEFAULT_RHO, TIME_EPS
+from repro.errors import DriftBoundError, RtError
+from repro.sim.rates import PiecewiseConstantRate
+
+__all__ = ["HostClock"]
+
+
+class HostClock:
+    """Assumption 1 over a wall clock: piecewise-linear in real elapsed time.
+
+    Parameters
+    ----------
+    rho:
+        Drift bound; :meth:`set_rate` rejects rates outside
+        ``[1 - rho, 1 + rho]``.
+    rate:
+        Initial rate.
+    time_source:
+        A monotonic-ish float clock in seconds (default
+        ``time.monotonic``).  Non-monotonic sources are tolerated — see
+        :meth:`elapsed`.
+    time_scale:
+        Wall seconds per simulation time unit.
+    origin:
+        Source reading that counts as elapsed 0; defaults to the source's
+        value at construction.  Transports pass a shared origin so all
+        node clocks start together.
+    """
+
+    def __init__(
+        self,
+        *,
+        rho: float = DEFAULT_RHO,
+        rate: float = 1.0,
+        time_source: Callable[[], float] = time.monotonic,
+        time_scale: float = 1.0,
+        origin: Optional[float] = None,
+    ):
+        if not 0.0 <= rho < 1.0:
+            raise DriftBoundError(f"rho must lie in [0, 1), got {rho}")
+        if time_scale <= 0.0:
+            raise RtError(f"time_scale must be positive, got {time_scale}")
+        self.rho = rho
+        self.time_scale = time_scale
+        self._source = time_source
+        self._origin = time_source() if origin is None else origin
+        self._max_elapsed = 0.0
+        # Segment k covers elapsed [starts[k], starts[k+1]) at rates[k];
+        # values[k] is the reading at starts[k] (exact running integral).
+        self._starts: list[float] = [0.0]
+        self._rates: list[float] = []
+        self._values: list[float] = [0.0]
+        self._check_rate(rate)
+        self._rates.append(rate)
+
+    # ------------------------------------------------------------------
+    # construction helpers
+
+    @classmethod
+    def from_schedule(
+        cls,
+        schedule: PiecewiseConstantRate,
+        *,
+        rho: float = DEFAULT_RHO,
+        time_source: Callable[[], float] = time.monotonic,
+        time_scale: float = 1.0,
+        origin: Optional[float] = None,
+    ) -> "HostClock":
+        """Pre-program a whole simulator rate schedule onto a host clock.
+
+        The returned clock realizes exactly the drift trajectory the
+        simulator would assign the node, so an execution reconstructed
+        from the live run uses the *same* ``HardwareClock`` — that is
+        what keeps sim and live measurements directly comparable.
+        """
+        clock = cls(
+            rho=rho,
+            rate=schedule.rates[0],
+            time_source=time_source,
+            time_scale=time_scale,
+            origin=origin,
+        )
+        for start, rate in zip(schedule.starts[1:], schedule.rates[1:]):
+            clock._check_rate(rate)
+            width = start - clock._starts[-1]
+            clock._values.append(clock._values[-1] + width * clock._rates[-1])
+            clock._starts.append(start)
+            clock._rates.append(rate)
+        return clock
+
+    def _check_rate(self, rate: float) -> None:
+        lo, hi = 1.0 - self.rho, 1.0 + self.rho
+        if not lo - TIME_EPS <= rate <= hi + TIME_EPS:
+            raise DriftBoundError(
+                f"host clock rate {rate} outside [{lo}, {hi}] (Assumption 1)"
+            )
+
+    # ------------------------------------------------------------------
+    # time queries
+
+    def elapsed(self) -> float:
+        """Simulation-time units since the origin, never decreasing.
+
+        The raw source can jitter backwards (NTP slews on CLOCK_REALTIME
+        sources, VM suspend artifacts); the clamp guarantees every
+        caller sees monotone non-decreasing elapsed time, which makes
+        :meth:`read` monotone because rates are positive.
+        """
+        raw = (self._source() - self._origin) / self.time_scale
+        if raw > self._max_elapsed:
+            self._max_elapsed = raw
+        return self._max_elapsed
+
+    def read(self) -> float:
+        """The current hardware reading ``H`` (monotone non-decreasing)."""
+        return self.value_at_elapsed(self.elapsed())
+
+    def rate_now(self) -> float:
+        """The rate in effect at the current elapsed time."""
+        return self._rates[self._index(self.elapsed())]
+
+    def _index(self, elapsed: float) -> int:
+        k = bisect_right(self._starts, elapsed) - 1
+        return max(k, 0)
+
+    def value_at_elapsed(self, elapsed: float) -> float:
+        """The reading the clock shows ``elapsed`` units after its origin."""
+        k = self._index(elapsed)
+        return self._values[k] + (elapsed - self._starts[k]) * self._rates[k]
+
+    def elapsed_at_value(self, value: float) -> float:
+        """Invert :meth:`value_at_elapsed` (rates positive, so well defined).
+
+        Used to turn hardware-time timer deltas into wall deadlines:
+        ``on_timer`` must fire when ``read()`` reaches ``value``.
+        """
+        k = bisect_right(self._values, value) - 1
+        k = max(k, 0)
+        return self._starts[k] + (value - self._values[k]) / self._rates[k]
+
+    def wall_deadline(self, value: float) -> float:
+        """The raw ``time_source`` reading at which ``read()`` hits ``value``."""
+        return self._origin + self.elapsed_at_value(value) * self.time_scale
+
+    # ------------------------------------------------------------------
+    # rate control
+
+    def set_rate(self, rate: float) -> None:
+        """Change the drift rate from the current instant on.
+
+        The closing segment is sealed at exactly the reading it has
+        reached, so the reading immediately before and after the rebind
+        is identical: no elapsed time is lost at the boundary.
+        """
+        self._check_rate(rate)
+        now = self.elapsed()
+        if now <= self._starts[-1] + TIME_EPS:
+            # Same-instant rebind: the later rate wins the open segment.
+            self._rates[-1] = rate
+            return
+        self._values.append(self.value_at_elapsed(now))
+        self._starts.append(now)
+        self._rates.append(rate)
+
+    def segments(self) -> list[tuple[float, float, float]]:
+        """Recorded ``(elapsed_start, reading_at_start, rate)`` pieces."""
+        return list(zip(self._starts, self._values, self._rates))
+
+    def as_schedule(self) -> PiecewiseConstantRate:
+        """The rate history as a simulator schedule (for reconstruction)."""
+        return PiecewiseConstantRate(
+            starts=tuple(self._starts), rates=tuple(self._rates)
+        )

@@ -1,0 +1,83 @@
+"""The ``live-run`` sweep job kind: live transports as a scenario axis.
+
+Registering a job kind makes the runtime a first-class citizen of the
+sweep engine: a :class:`~repro.sweep.spec.SweepSpec` whose
+``transports`` axis names live backends expands into ``live-run`` cells
+next to the ``benign-run`` simulator cells, and the aggregate tables
+line them up by the shared metric names.  The metrics dict mirrors
+``benign-run``'s exactly (plus ``transport`` and ``wall_elapsed``), so
+every downstream consumer — summary tables, JSON artifacts, E14 —
+treats sim and live rows uniformly.
+
+Caveat for grids: ``udp`` cells spawn node processes, which daemonic
+pool workers may not do — run udp cells at ``workers=1`` (the sweep
+runner's serial path); the in-process backends parallelize freely.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Mapping
+
+from repro.analysis.convergence import settling_time, steady_state
+from repro.analysis.skew import summarize
+from repro.rt.run import LiveRunConfig, run_live
+from repro.sweep.families import topology_from_spec
+from repro.sweep.jobs import job_kind
+
+__all__ = ["live_run"]
+
+
+@job_kind("live-run")
+def live_run(params: Mapping[str, Any]) -> dict:
+    """One live scenario cell -> the ``benign-run`` metric schema.
+
+    Params: ``topology``, ``algorithm``, ``rates``, ``delays``,
+    ``transport``, ``duration``, ``rho``, ``seed``, optional ``step``,
+    ``time_scale``, and ``settle_threshold``.
+    """
+    topology = topology_from_spec(params["topology"])
+    step = float(params.get("step", 1.0))
+    config = LiveRunConfig(
+        topology=str(params["topology"]),
+        algorithm=str(params["algorithm"]),
+        rates=str(params["rates"]),
+        delays=str(params["delays"]),
+        duration=float(params["duration"]),
+        rho=float(params["rho"]),
+        seed=int(params["seed"]),
+        transport=str(params["transport"]),
+        time_scale=float(params.get("time_scale", 0.1)),
+    )
+    wall_start = time.perf_counter()
+    execution = run_live(config)
+    wall_elapsed = time.perf_counter() - wall_start
+    skew = summarize(execution, step=step)
+    threshold = float(
+        params.get("settle_threshold", 2.0 * topology.diameter * config.rho)
+    )
+    settled = settling_time(execution, threshold, step=step)
+    tail = steady_state(execution, step=step)
+    return {
+        "topology": config.topology,
+        "algorithm": config.algorithm,
+        "rates": config.rates,
+        "delays": config.delays,
+        "faults": "none",
+        "transport": config.transport,
+        "seed": config.seed,
+        "n_nodes": int(topology.n),
+        "diameter": float(topology.diameter),
+        "max_skew": float(skew.max_skew),
+        "max_adjacent_skew": float(skew.max_adjacent_skew),
+        "final_skew": float(skew.final_skew),
+        "final_adjacent_skew": float(skew.final_adjacent_skew),
+        "mean_abs_skew": float(skew.mean_abs_skew),
+        "settling_time": None if settled is None else float(settled),
+        "settle_threshold": threshold,
+        "steady_mean_max_skew": float(tail.mean_max_skew),
+        "steady_worst_adjacent_skew": float(tail.worst_adjacent_skew),
+        "messages": len(execution.messages),
+        "fault_events": {},
+        "wall_elapsed": round(wall_elapsed, 4),
+    }

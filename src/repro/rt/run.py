@@ -1,0 +1,121 @@
+"""``run_live``: one live scenario in, one measurable ``Execution`` out.
+
+A :class:`LiveRunConfig` names its ingredients with the same compact
+spec strings the sweep engine uses (``"line:8"``, ``"gradient"``,
+``"wandering"``, ``"uniform:0.25,0.75"``), so a scenario can move
+between the simulator, the sweep grid, and the live runtime without
+translation.  :func:`run_live` builds the pieces, dispatches to the
+requested transport backend, and returns an
+:class:`~repro.sim.execution.Execution` that every function in
+:mod:`repro.analysis` accepts verbatim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro._constants import DEFAULT_RHO
+from repro.errors import RtError
+from repro.rt.asyncio_transport import InProcAsyncioTransport
+from repro.rt.node import LiveNode
+from repro.rt.recorder import LiveRecorder, build_execution
+from repro.rt.transport import TRANSPORT_NAMES, Transport
+from repro.rt.virtual import VirtualTimeTransport
+from repro.sim.execution import Execution
+from repro.sweep.families import (
+    algorithm_from_spec,
+    delay_policy_from_spec,
+    rates_from_spec,
+    topology_from_spec,
+)
+
+__all__ = ["LiveRunConfig", "run_live", "with_transport"]
+
+
+@dataclass(frozen=True)
+class LiveRunConfig:
+    """One live scenario, named entirely by picklable spec strings.
+
+    ``time_scale`` (wall seconds per simulation unit) only matters to
+    the wall-clock backends; the virtual backend ignores it.
+    """
+
+    topology: str = "line:8"
+    algorithm: str = "gradient"
+    rates: str = "drifted"
+    delays: str = "uniform"
+    duration: float = 20.0
+    rho: float = DEFAULT_RHO
+    seed: int = 0
+    transport: str = "virtual"
+    time_scale: float = 0.1
+    record_trace: bool = True
+
+    def __post_init__(self) -> None:
+        if self.transport not in TRANSPORT_NAMES:
+            raise RtError(
+                f"unknown transport {self.transport!r}; "
+                f"backends: {list(TRANSPORT_NAMES)}"
+            )
+        if self.duration <= 0:
+            raise RtError(f"duration must be positive, got {self.duration}")
+        if self.time_scale <= 0:
+            raise RtError(f"time_scale must be positive, got {self.time_scale}")
+
+
+def run_live(config: LiveRunConfig) -> Execution:
+    """Execute one live scenario on its configured transport backend."""
+    if config.transport == "udp":
+        from repro.rt.udp import run_udp
+
+        return run_udp(config)
+
+    topology = topology_from_spec(config.topology)
+    algorithm = algorithm_from_spec(config.algorithm)
+    schedules = rates_from_spec(
+        config.rates, topology, rho=config.rho, seed=config.seed,
+        horizon=config.duration,
+    )
+    recorder = LiveRecorder(record_trace=config.record_trace)
+    delay_policy = delay_policy_from_spec(config.delays)
+    transport: Transport
+    if config.transport == "virtual":
+        transport = VirtualTimeTransport(
+            recorder=recorder, delay_policy=delay_policy, seed=config.seed
+        )
+    else:
+        transport = InProcAsyncioTransport(
+            recorder=recorder,
+            delay_policy=delay_policy,
+            seed=config.seed,
+            time_scale=config.time_scale,
+        )
+    processes = algorithm.processes(topology)
+    nodes = {
+        node: LiveNode(
+            node,
+            processes[node],
+            topology=topology,
+            schedule=schedules[node],
+            rho=config.rho,
+            seed=config.seed,
+            transport=transport,
+            recorder=recorder,
+        )
+        for node in topology.nodes
+    }
+    transport.run(nodes, config.duration)
+    return build_execution(
+        topology=topology,
+        duration=config.duration,
+        rho=config.rho,
+        hardware={n: nodes[n].hardware for n in topology.nodes},
+        logical={n: nodes[n].logical for n in topology.nodes},
+        recorder=recorder,
+        source=f"live-{config.transport}",
+    )
+
+
+def with_transport(config: LiveRunConfig, transport: str) -> LiveRunConfig:
+    """The same scenario on a different backend (E14's comparison axis)."""
+    return replace(config, transport=transport)

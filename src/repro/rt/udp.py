@@ -1,0 +1,379 @@
+"""Distributed transport: one OS process per node over localhost UDP.
+
+This is the runtime's "really distributed" backend: every node is its
+own process with its own :class:`~repro.rt.hostclock.HostClock`, and the
+only shared state is the UDP datagrams between them — the deployment
+shape of a real sync client fleet, scaled down to one machine.
+
+Wire format
+-----------
+One datagram per message: a 4-byte big-endian length prefix followed by
+exactly that many bytes of UTF-8 JSON::
+
+    {"seq": …, "src": i, "dst": j, "payload": …, "send": t, "delay": d}
+
+The prefix makes truncation detectable (a datagram whose body length
+disagrees with its prefix is dropped and counted), and the format is
+language-neutral, so a future non-Python node can join a run.  Payloads
+must be JSON-serializable; tuples survive the round trip because the
+receiver restores lists to tuples (every algorithm in
+:mod:`repro.algorithms` sends ``(tag, number)`` pairs).
+
+Timebase
+--------
+The parent picks one CLOCK_MONOTONIC epoch and ships it to every child;
+``time.monotonic()`` is system-wide on Linux, so all hosts agree on
+"simulation time 0" to scheduler precision.  Each child realizes its
+assigned drift schedule with ``HostClock.from_schedule`` and injects
+model-band message delays (sender-drawn, carried on the wire; the
+receiver holds each datagram until its delivery instant).  After the
+run, children ship their recorders and logical clocks home over pipes
+and the parent assembles one :class:`~repro.sim.execution.Execution`.
+
+Requires the ``fork`` start method (sockets are inherited, nothing else
+is portable-pickled); :func:`run_udp` raises :class:`RtError` where fork
+is unavailable.
+"""
+
+from __future__ import annotations
+
+import heapq
+import json
+import multiprocessing
+import random
+import select
+import socket
+import struct
+import time
+import traceback
+from typing import TYPE_CHECKING, Mapping
+
+from repro.errors import RtError
+from repro.rt.hostclock import HostClock
+from repro.rt.node import LiveNode
+from repro.rt.recorder import LiveRecorder, build_execution, merge_recorders
+from repro.rt.transport import DELAY_SEED_MIX, Transport
+from repro.sim.clock import HardwareClock
+from repro.sweep.families import (
+    algorithm_from_spec,
+    delay_policy_from_spec,
+    rates_from_spec,
+    topology_from_spec,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.rt.run import LiveRunConfig
+    from repro.sim.execution import Execution
+
+__all__ = ["UdpTransport", "run_udp", "encode_frame", "decode_frame"]
+
+_LEN = struct.Struct(">I")
+
+#: Wall seconds between process launch and the shared start epoch.
+_START_GRACE = 0.35
+
+#: Extra wall seconds the parent waits for children past the horizon.
+_REPORT_GRACE = 10.0
+
+
+def encode_frame(record: dict) -> bytes:
+    """Length-prefixed JSON: the whole wire format in one line."""
+    body = json.dumps(record, separators=(",", ":")).encode()
+    return _LEN.pack(len(body)) + body
+
+
+def decode_frame(datagram: bytes) -> dict | None:
+    """Parse a frame; ``None`` for truncated or malformed datagrams."""
+    if len(datagram) < _LEN.size:
+        return None
+    (length,) = _LEN.unpack_from(datagram)
+    body = datagram[_LEN.size:]
+    if len(body) != length:
+        return None
+    try:
+        return json.loads(body.decode())
+    except (UnicodeDecodeError, json.JSONDecodeError):
+        return None
+
+
+def _untuple(value):
+    """Restore JSON lists to tuples (payloads are tuple-shaped)."""
+    if isinstance(value, list):
+        return tuple(_untuple(v) for v in value)
+    return value
+
+
+class UdpTransport(Transport):
+    """The node-process side: one socket in, N sockets out.
+
+    Lives inside a child process and serves exactly one
+    :class:`LiveNode`; the parent-side orchestration is
+    :func:`run_udp`.
+    """
+
+    name = "udp"
+
+    def __init__(
+        self,
+        *,
+        node: int,
+        sock: socket.socket,
+        ports: Mapping[int, int],
+        host: HostClock,
+        recorder: LiveRecorder,
+        delay_policy,
+        seed: int,
+        duration: float,
+    ):
+        self._node = node
+        self._sock = sock
+        self._ports = dict(ports)
+        self._host = host
+        # Per-sender delay stream: children share no RNG, so each mixes
+        # its node id into the simulator's delay-seed recipe.
+        self._init_messaging(
+            recorder=recorder,
+            delay_policy=delay_policy,
+            delay_rng=random.Random((seed ^ DELAY_SEED_MIX) * 0x9E37 + node),
+            seed=seed,
+        )
+        self._duration = duration
+        self._now = 0.0
+        # Pending (due_time, tiebreak, kind, data): held datagrams and timers.
+        self._pending: list[tuple[float, int, str, tuple]] = []
+        self._tiebreak = 0
+        #: Malformed/truncated datagrams dropped at the wire.
+        self.frames_dropped = 0
+
+    # ------------------------------------------------------------------
+    # Transport interface
+
+    def now(self) -> float:
+        return self._now
+
+    def _message_seq(self, counter: int) -> int:
+        # Node-unique seq: children never coordinate counters.
+        return self._node * 1_000_000 + counter
+
+    def transmit(self, sender: LiveNode, receiver: int, payload) -> None:
+        message = self._next_message(sender, receiver, payload)
+        if message is None:
+            return
+        frame = encode_frame(
+            {
+                "seq": message.seq,
+                "src": message.sender,
+                "dst": message.receiver,
+                "payload": message.payload,
+                "send": message.send_time,
+                "delay": message.delay,
+            }
+        )
+        self._sock.sendto(frame, ("127.0.0.1", self._ports[receiver]))
+
+    def schedule_timer(self, node: LiveNode, fire_at: float, name: str) -> None:
+        self._push(fire_at, "timer", (name,))
+
+    def _push(self, due: float, kind: str, data: tuple) -> None:
+        heapq.heappush(self._pending, (due, self._tiebreak, kind, data))
+        self._tiebreak += 1
+
+    # ------------------------------------------------------------------
+    # the node event loop
+
+    def run(self, nodes: Mapping[int, LiveNode], duration: float) -> None:
+        (live,) = nodes.values()
+        live.start()  # frozen now == 0.0: START + on_start at nominal time 0
+        scale = self._host.time_scale
+        while True:
+            elapsed = self._host.elapsed()
+            if elapsed >= duration:
+                break
+            due = self._pending[0][0] if self._pending else duration
+            timeout = max(0.0, (min(due, duration) - elapsed) * scale)
+            readable, _, _ = select.select([self._sock], [], [], timeout)
+            if readable:
+                self._drain_socket()
+            self._dispatch_due(live)
+        self._now = duration
+
+    def _drain_socket(self) -> None:
+        while True:
+            try:
+                datagram, _ = self._sock.recvfrom(65536)
+            except BlockingIOError:
+                return
+            record = decode_frame(datagram)
+            if record is None or record.get("dst") != self._node:
+                self.frames_dropped += 1
+                continue
+            deliver_at = float(record["send"]) + float(record["delay"])
+            self._push(
+                deliver_at, "msg", (int(record["src"]), _untuple(record["payload"]))
+            )
+
+    def _dispatch_due(self, live: LiveNode) -> None:
+        while self._pending:
+            due = self._pending[0][0]
+            elapsed = self._host.elapsed()
+            if due > elapsed or elapsed >= self._duration:
+                return
+            _, _, kind, data = heapq.heappop(self._pending)
+            # Freeze the callback's instant at measured time (>= due when
+            # the OS woke us late), monotone and inside the run.
+            self._now = min(max(self._now, elapsed), self._duration)
+            if kind == "msg":
+                sender, payload = data
+                live.deliver(sender, payload)
+            else:
+                live.fire_timer(data[0])
+
+
+# ----------------------------------------------------------------------
+# parent-side orchestration
+
+
+def _node_main(node: int, cfg: dict, ports: dict, sock: socket.socket, conn) -> None:
+    """Entry point of one node process (fork-inherited socket)."""
+    try:
+        sock.setblocking(False)
+        topology = topology_from_spec(cfg["topology"])
+        process = algorithm_from_spec(cfg["algorithm"]).processes(topology)[node]
+        schedule = rates_from_spec(
+            cfg["rates"], topology, rho=cfg["rho"], seed=cfg["seed"],
+            horizon=cfg["duration"],
+        )[node]
+        epoch = conn.recv()["epoch"]
+        host = HostClock.from_schedule(
+            schedule, rho=cfg["rho"], time_scale=cfg["time_scale"], origin=epoch
+        )
+        recorder = LiveRecorder(record_trace=cfg["record_trace"])
+        transport = UdpTransport(
+            node=node,
+            sock=sock,
+            ports=ports,
+            host=host,
+            recorder=recorder,
+            delay_policy=delay_policy_from_spec(cfg["delays"]),
+            seed=cfg["seed"],
+            duration=cfg["duration"],
+        )
+        live = LiveNode(
+            node,
+            process,
+            topology=topology,
+            schedule=schedule,
+            rho=cfg["rho"],
+            seed=cfg["seed"],
+            transport=transport,
+            recorder=recorder,
+        )
+        # Sleep off the start grace so every node begins at the epoch.
+        lag = epoch - time.monotonic()
+        if lag > 0:
+            time.sleep(lag)
+        transport.run({node: live}, cfg["duration"])
+        conn.send(
+            {
+                "node": node,
+                "recorder": recorder,
+                "logical": live.logical,
+                "frames_dropped": transport.frames_dropped,
+            }
+        )
+    except Exception:  # pragma: no cover - surfaced as RtError in the parent
+        conn.send({"node": node, "error": traceback.format_exc()})
+    finally:
+        conn.close()
+        sock.close()
+
+
+def run_udp(config: "LiveRunConfig") -> "Execution":
+    """Run one live scenario with one OS process per node; see module doc."""
+    if "fork" not in multiprocessing.get_all_start_methods():
+        raise RtError(
+            "UdpTransport needs the 'fork' start method (sockets are "
+            "inherited); use --transport asyncio on this platform"
+        )
+    if multiprocessing.current_process().daemon:
+        raise RtError(
+            "UdpTransport spawns node processes, which daemonic pool "
+            "workers may not do; run udp cells at workers=1"
+        )
+    ctx = multiprocessing.get_context("fork")
+    topology = topology_from_spec(config.topology)
+    schedules = rates_from_spec(
+        config.rates, topology, rho=config.rho, seed=config.seed,
+        horizon=config.duration,
+    )
+    cfg = {
+        "topology": config.topology,
+        "algorithm": config.algorithm,
+        "rates": config.rates,
+        "delays": config.delays,
+        "duration": config.duration,
+        "rho": config.rho,
+        "seed": config.seed,
+        "time_scale": config.time_scale,
+        "record_trace": config.record_trace,
+    }
+
+    sockets: dict[int, socket.socket] = {}
+    ports: dict[int, int] = {}
+    try:
+        for node in topology.nodes:
+            sock = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+            sock.bind(("127.0.0.1", 0))
+            sockets[node] = sock
+            ports[node] = sock.getsockname()[1]
+
+        pipes = {node: ctx.Pipe() for node in topology.nodes}
+        children = {
+            node: ctx.Process(
+                target=_node_main,
+                args=(node, cfg, ports, sockets[node], pipes[node][1]),
+                daemon=True,
+            )
+            for node in topology.nodes
+        }
+        for child in children.values():
+            child.start()
+        epoch = time.monotonic() + _START_GRACE
+        for node in topology.nodes:
+            pipes[node][0].send({"epoch": epoch})
+
+        budget = _START_GRACE + config.duration * config.time_scale + _REPORT_GRACE
+        deadline = time.monotonic() + budget
+        reports: dict[int, dict] = {}
+        for node in topology.nodes:
+            parent_conn = pipes[node][0]
+            remaining = deadline - time.monotonic()
+            if remaining <= 0 or not parent_conn.poll(remaining):
+                raise RtError(
+                    f"node process {node} did not report within {budget:.1f}s"
+                )
+            reports[node] = parent_conn.recv()
+        for child in children.values():
+            child.join(timeout=5.0)
+    finally:
+        for sock in sockets.values():
+            sock.close()
+        for child in list(locals().get("children", {}).values()):
+            if child.is_alive():  # pragma: no cover - crash cleanup
+                child.terminate()
+
+    errors = {n: r["error"] for n, r in reports.items() if "error" in r}
+    if errors:
+        node, trace = sorted(errors.items())[0]
+        raise RtError(f"node process {node} failed:\n{trace}")
+
+    recorder = merge_recorders([reports[n]["recorder"] for n in topology.nodes])
+    return build_execution(
+        topology=topology,
+        duration=config.duration,
+        rho=config.rho,
+        hardware={n: HardwareClock(schedules[n], config.rho) for n in topology.nodes},
+        logical={n: reports[n]["logical"] for n in topology.nodes},
+        recorder=recorder,
+        source="live-udp",
+    )

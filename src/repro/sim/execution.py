@@ -40,6 +40,10 @@ class Execution:
     #: the run carried a non-empty fault plan; ``None`` for fault-free
     #: runs, which the paper's model — and most of this package — uses.
     fault_stats: dict | None = None
+    #: Where the execution came from: ``"sim"`` for the discrete-event
+    #: simulator, ``"live-<transport>"`` for :mod:`repro.rt` runs.  Every
+    #: measurement defined on this class applies to both.
+    source: str = "sim"
 
     # ------------------------------------------------------------------
     # clock queries

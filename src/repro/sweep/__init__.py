@@ -7,7 +7,7 @@ independent, picklable
 :class:`Job` cells, a :func:`run_jobs` pool fans them across processes
 with deterministic per-job seeding (identical metrics at any worker
 count), and the aggregate layer folds the metrics back into the same
-``Table``/``ExperimentResult`` shapes the E01..E13 experiments print.
+``Table``/``ExperimentResult`` shapes the E01..E14 experiments print.
 Results cache on disk keyed by job content hash, so re-running a grid
 costs only the cells that changed.
 

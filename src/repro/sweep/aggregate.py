@@ -8,7 +8,7 @@ consumers want:
   by scenario cell (topology x algorithm x rates x delays), averaging
   over seeds, in the style of the paper's evaluation tables;
 * :func:`sweep_result` — an ``ExperimentResult`` wrapping those tables,
-  so sweeps print exactly like experiments E01..E13;
+  so sweeps print exactly like experiments E01..E14;
 * :func:`to_json_payload` / :func:`write_json` — a machine-readable
   artifact with the spec, every job's metrics, and cache statistics.
 """
@@ -34,7 +34,8 @@ __all__ = [
 ]
 
 #: The axes that define one scenario cell (seeds are averaged within it).
-CELL_KEYS = ("topology", "algorithm", "rates", "delays", "faults")
+#: ``transport`` separates simulator rows ("sim") from live-runtime rows.
+CELL_KEYS = ("topology", "algorithm", "rates", "delays", "faults", "transport")
 
 #: Metrics aggregated over seeds in the summary table.
 SUMMARY_METRICS = (

@@ -15,7 +15,7 @@ import re
 import sys
 import time
 
-from repro.errors import SweepError
+from repro.errors import ReproError, SweepError
 from repro.sweep.aggregate import sweep_result, to_json_payload, write_json
 from repro.sweep.runner import ResultCache, run_jobs
 from repro.sweep.spec import SweepSpec, full_spec, quick_spec
@@ -54,6 +54,18 @@ def build_parser() -> argparse.ArgumentParser:
             "family only before a name, so numeric arguments stay intact)"
         ),
     )
+    parser.add_argument(
+        "--transports",
+        help=(
+            "comma-separated execution backends per cell: 'sim' "
+            "(simulator) and/or live transports 'virtual', 'asyncio', "
+            "'udp' (override preset; udp cells need --workers 1)"
+        ),
+    )
+    parser.add_argument(
+        "--time-scale", type=float,
+        help="wall seconds per sim unit for wall-clock live transports",
+    )
     parser.add_argument("--seeds", type=int, help="number of seeds per cell")
     parser.add_argument("--duration", type=float, help="run length (real time)")
     parser.add_argument("--rho", type=float, help="drift bound")
@@ -91,6 +103,7 @@ def _resolve_spec(args: argparse.Namespace) -> SweepSpec:
         ("rates", "rate_families"),
         ("delays", "delay_policies"),
         ("faults", "fault_families"),
+        ("transports", "transports"),
     ):
         value = getattr(args, flag)
         if value:
@@ -105,6 +118,8 @@ def _resolve_spec(args: argparse.Namespace) -> SweepSpec:
         overrides["duration"] = args.duration
     if args.rho is not None:
         overrides["rho"] = args.rho
+    if args.time_scale is not None:
+        overrides["time_scale"] = args.time_scale
     if overrides:
         payload = json.loads(spec.to_json())
         payload.update(overrides)
@@ -120,6 +135,15 @@ def main(argv: list[str] | None = None) -> int:
     except (OSError, json.JSONDecodeError, SweepError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    if "udp" in spec.transports and args.workers > 1:
+        # Detectable before any work: udp cells spawn node processes,
+        # which daemonic pool workers may not do.
+        print(
+            "error: udp transport cells need --workers 1 (node processes "
+            "cannot be spawned from daemonic pool workers)",
+            file=sys.stderr,
+        )
+        return 2
 
     cache = ResultCache(args.cache_dir) if args.cache_dir else None
     print(
@@ -127,13 +151,15 @@ def main(argv: list[str] | None = None) -> int:
         f"({len(spec.topologies)} topologies x {len(spec.algorithms)} algorithms "
         f"x {len(spec.rate_families)} rate families x "
         f"{len(spec.delay_policies)} delay policies x "
-        f"{len(spec.fault_families)} fault families x {len(spec.seeds)} seeds), "
+        f"{len(spec.fault_families)} fault families x "
+        f"{len(spec.transports)} transports x {len(spec.seeds)} seeds), "
         f"{args.workers} worker(s)"
     )
     start = time.perf_counter()
     try:
         outcomes = run_jobs(jobs, workers=args.workers, cache=cache)
-    except SweepError as exc:
+    except ReproError as exc:
+        # SweepError from the engine, or an RtError a live-run cell hit.
         print(f"error: {exc}", file=sys.stderr)
         return 2
     elapsed = time.perf_counter() - start

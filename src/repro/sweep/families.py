@@ -187,6 +187,9 @@ ALGORITHM_KINDS: Dict[str, Callable[[float], SyncAlgorithm]] = {
     "srikanth-toueg": lambda period: SrikanthTouegAlgorithm(),
     "averaging": lambda period: AveragingAlgorithm(period=period),
     "bounded-catch-up": lambda period: BoundedCatchUpAlgorithm(period=period),
+    # The Section 9 gradient candidate under the name everyone reaches
+    # for first (``repro-live --alg gradient``).
+    "gradient": lambda period: BoundedCatchUpAlgorithm(period=period),
     "slewing-max": lambda period: SlewingMaxAlgorithm(period=period),
     "external": lambda period: ExternalSyncAlgorithm(period=period),
     "null": lambda period: NullAlgorithm(),

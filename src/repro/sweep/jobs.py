@@ -46,7 +46,7 @@ __all__ = [
 ]
 
 #: Bump when a job kind's semantics change, to invalidate stale caches.
-CACHE_VERSION = 2
+CACHE_VERSION = 3
 
 #: kind name -> (callable, defining module name)
 _JOB_KINDS: Dict[str, tuple[Callable[[Mapping[str, Any]], dict], str]] = {}
@@ -178,6 +178,9 @@ def benign_run(params: Mapping[str, Any]) -> dict:
         "rates": params["rates"],
         "delays": params["delays"],
         "faults": faults,
+        # The simulator backend, so sim rows line up against the live
+        # runtime's ``live-run`` rows (repro.rt.jobs) in merged tables.
+        "transport": "sim",
         "seed": seed,
         "n_nodes": int(topology.n),
         "diameter": float(topology.diameter),

@@ -30,22 +30,34 @@ __all__ = ["SweepSpec", "quick_spec", "full_spec"]
 
 @dataclass(frozen=True)
 class SweepSpec:
-    """A grid of benign scenarios: the cartesian product of its axes."""
+    """A grid of benign scenarios: the cartesian product of its axes.
+
+    The ``transports`` axis selects the execution engine per cell:
+    ``"sim"`` (the discrete-event simulator, a ``benign-run`` job) or a
+    live backend from :data:`repro.rt.transport.TRANSPORT_NAMES`
+    (``"virtual"``, ``"asyncio"``, ``"udp"`` — a ``live-run`` job).
+    Live cells ignore the fault axis (the runtime has no fault plans
+    yet), so a grid mixing faults and live transports is rejected.
+    """
 
     topologies: Sequence[str] = ("line:9",)
     algorithms: Sequence[str] = ("max-based",)
     rate_families: Sequence[str] = ("drifted",)
     delay_policies: Sequence[str] = ("uniform",)
     fault_families: Sequence[str] = ("none",)
+    transports: Sequence[str] = ("sim",)
     seeds: Sequence[int] = (0,)
     duration: float = 30.0
     rho: float = DEFAULT_RHO
     step: float = 1.0
+    #: Wall seconds per simulation unit for wall-clock live transports.
+    time_scale: float = 0.05
     name: str = "sweep"
 
     def __post_init__(self) -> None:
         for axis in ("topologies", "algorithms", "rate_families",
-                     "delay_policies", "fault_families", "seeds"):
+                     "delay_policies", "fault_families", "transports",
+                     "seeds"):
             if not getattr(self, axis):
                 raise SweepError(f"spec axis {axis!r} must be non-empty")
         if self.duration <= 0:
@@ -75,6 +87,20 @@ class SweepSpec:
                     f"unknown rate family {spec!r}; families: "
                     f"{sorted(RATE_FAMILIES)}"
                 )
+        from repro.rt.transport import TRANSPORT_NAMES
+
+        live = [t for t in self.transports if t != "sim"]
+        for spec in live:
+            if spec not in TRANSPORT_NAMES:
+                raise SweepError(
+                    f"unknown transport {spec!r}; backends: "
+                    f"['sim', {', '.join(repr(t) for t in TRANSPORT_NAMES)}]"
+                )
+        if live and any(f != "none" for f in self.fault_families):
+            raise SweepError(
+                "live transports have no fault support; keep "
+                "fault_families=('none',) when sweeping transports"
+            )
 
     @property
     def size(self) -> int:
@@ -84,37 +110,69 @@ class SweepSpec:
             * len(self.rate_families)
             * len(self.delay_policies)
             * len(self.fault_families)
+            * len(self.transports)
             * len(self.seeds)
         )
 
     def jobs(self) -> list[Job]:
-        """Expand the grid into ``benign-run`` jobs, in deterministic order."""
+        """Expand the grid into jobs, in deterministic order.
+
+        ``"sim"`` cells become ``benign-run`` jobs with exactly the
+        params they always had — the transport axis itself never
+        perturbs sim-cell hashes, so within one ``CACHE_VERSION`` a
+        sim-only grid shares cache entries with a pre-axis spec.  Live
+        transport cells become ``live-run`` jobs handled by
+        :mod:`repro.rt.jobs`.
+        """
         self.validate()
         jobs = []
-        for topology, algorithm, rates, delays, faults, seed in itertools.product(
-            self.topologies,
-            self.algorithms,
-            self.rate_families,
-            self.delay_policies,
-            self.fault_families,
-            self.seeds,
-        ):
-            jobs.append(
-                Job(
-                    kind="benign-run",
-                    params={
-                        "topology": topology,
-                        "algorithm": algorithm,
-                        "rates": rates,
-                        "delays": delays,
-                        "faults": faults,
-                        "seed": int(seed),
-                        "duration": self.duration,
-                        "rho": self.rho,
-                        "step": self.step,
-                    },
-                )
+        for topology, algorithm, rates, delays, faults, transport, seed in (
+            itertools.product(
+                self.topologies,
+                self.algorithms,
+                self.rate_families,
+                self.delay_policies,
+                self.fault_families,
+                self.transports,
+                self.seeds,
             )
+        ):
+            if transport == "sim":
+                jobs.append(
+                    Job(
+                        kind="benign-run",
+                        params={
+                            "topology": topology,
+                            "algorithm": algorithm,
+                            "rates": rates,
+                            "delays": delays,
+                            "faults": faults,
+                            "seed": int(seed),
+                            "duration": self.duration,
+                            "rho": self.rho,
+                            "step": self.step,
+                        },
+                    )
+                )
+            else:
+                jobs.append(
+                    Job(
+                        kind="live-run",
+                        params={
+                            "topology": topology,
+                            "algorithm": algorithm,
+                            "rates": rates,
+                            "delays": delays,
+                            "transport": transport,
+                            "seed": int(seed),
+                            "duration": self.duration,
+                            "rho": self.rho,
+                            "step": self.step,
+                            "time_scale": self.time_scale,
+                        },
+                        module="repro.rt.jobs",
+                    )
+                )
         return jobs
 
     # ------------------------------------------------------------------
@@ -130,7 +188,8 @@ class SweepSpec:
             raise SweepError(f"unknown SweepSpec fields: {sorted(extra)}")
         coerced = dict(payload)
         for axis in ("topologies", "algorithms", "rate_families",
-                     "delay_policies", "fault_families", "seeds"):
+                     "delay_policies", "fault_families", "transports",
+                     "seeds"):
             if axis in coerced:
                 coerced[axis] = tuple(coerced[axis])
         return cls(**coerced)

@@ -27,6 +27,11 @@ def pytest_configure(config):
         "skip with -m 'not faults')",
     )
     config.addinivalue_line("markers", "slow: long-running full-scale checks")
+    config.addinivalue_line(
+        "markers",
+        "rt: live-runtime transport suite (wall-clock sleeps and node "
+        "processes; select with -m rt, skip with -m 'not rt')",
+    )
 
 
 @pytest.fixture(scope="session")

@@ -53,6 +53,14 @@ def test_scenario_sweep():
     assert "cache hits" in out
 
 
+@pytest.mark.rt
+def test_live_run():
+    out = run_example("live_run.py")
+    assert "live-virtual" in out
+    assert "identical executions" in out
+    assert "passes the model-compliance checks" in out
+
+
 @pytest.mark.slow
 def test_lower_bound_tour():
     out = run_example("lower_bound_tour.py")

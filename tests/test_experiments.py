@@ -14,9 +14,9 @@ from repro.experiments.cli import main as cli_main
 
 class TestRegistry:
     def test_all_experiments_present(self):
-        # E01-E11 reproduce the paper; E12 (Section 9 candidates) and
-        # E13 (fault robustness) are the extensions.
-        assert sorted(REGISTRY) == [f"E{k:02d}" for k in range(1, 14)]
+        # E01-E11 reproduce the paper; E12 (Section 9 candidates), E13
+        # (fault robustness), and E14 (sim-vs-live) are the extensions.
+        assert sorted(REGISTRY) == [f"E{k:02d}" for k in range(1, 15)]
 
     def test_unknown_id_raises(self):
         with pytest.raises(ExperimentError):
@@ -133,6 +133,21 @@ class TestCLI:
         assert cli_main(["--list"]) == 0
         out = capsys.readouterr().out
         assert "E01" in out and "E11" in out and "E12" in out
+        # The listing names every registered experiment plus its scale
+        # knobs, and E14 (the live runtime) is present.
+        assert "E14" in out
+        assert "scales: quick, full" in out
+        assert "workers" in out  # E13/E14 expose the workers knob
+
+    def test_list_covers_whole_registry(self, capsys):
+        assert cli_main(["--list"]) == 0
+        out = capsys.readouterr().out
+        for key in REGISTRY:
+            assert f"{key}:" in out
+
+    def test_verbs_must_come_first(self, capsys):
+        assert cli_main(["E03", "live"]) == 2
+        assert "'live' verb must come first" in capsys.readouterr().err
 
     def test_run_single(self, capsys):
         assert cli_main(["E03"]) == 0

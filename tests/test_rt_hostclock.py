@@ -1,0 +1,162 @@
+"""Property-based tests (hypothesis) for the live runtime's HostClock.
+
+The three guarantees the runtime leans on, each driven through a fake
+time source so hypothesis fully controls the wall clock:
+
+* readings are monotone non-decreasing, even when the source jitters
+  backwards (the never-backwards clamp);
+* any two readings respect the Assumption-1 drift envelope
+  ``(1 - rho) dt <= dH <= (1 + rho) dt`` as long as every rate stays in
+  the band;
+* re-binding the rate at a boundary loses no elapsed time — the reading
+  immediately before and after ``set_rate`` is identical (the live
+  analogue of the ``LogicalClock.time_at`` bug class fixed in PR 2).
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import DriftBoundError
+from repro.rt import HostClock
+from repro.sim.rates import PiecewiseConstantRate
+
+RHO = 0.5
+
+rates_in_band = st.floats(min_value=1.0 - RHO, max_value=1.0 + RHO)
+
+
+class FakeSource:
+    """A scripted time source hypothesis can steer, jitter included."""
+
+    def __init__(self, start: float = 100.0):
+        self.t = start
+
+    def __call__(self) -> float:
+        return self.t
+
+    def advance(self, dt: float) -> None:
+        self.t += dt
+
+
+@st.composite
+def clock_scripts(draw, max_steps=12):
+    """(steps) where each step is ('advance', dt) or ('rate', r)."""
+    n = draw(st.integers(min_value=1, max_value=max_steps))
+    steps = []
+    for _ in range(n):
+        if draw(st.booleans()):
+            steps.append(("advance", draw(st.floats(min_value=0.0, max_value=5.0))))
+        else:
+            steps.append(("rate", draw(rates_in_band)))
+    return steps
+
+
+@given(clock_scripts())
+@settings(max_examples=200)
+def test_readings_monotone_nondecreasing(steps):
+    source = FakeSource()
+    clock = HostClock(rho=RHO, rate=1.0, time_source=source)
+    last = clock.read()
+    for kind, value in steps:
+        if kind == "advance":
+            source.advance(value)
+        else:
+            clock.set_rate(value)
+        now = clock.read()
+        assert now >= last - 1e-12
+        last = now
+
+
+@given(
+    st.lists(st.floats(min_value=-2.0, max_value=2.0), min_size=1, max_size=20)
+)
+@settings(max_examples=200)
+def test_never_backwards_under_source_jitter(jitters):
+    """Even a source that jumps backwards never drags readings back."""
+    source = FakeSource()
+    clock = HostClock(rho=RHO, rate=1.2, time_source=source)
+    last = clock.read()
+    for dt in jitters:
+        source.advance(dt)  # may be negative: a misbehaving wall clock
+        now = clock.read()
+        assert now >= last - 1e-12
+        assert clock.elapsed() >= 0.0
+        last = now
+
+
+@given(clock_scripts())
+@settings(max_examples=200)
+def test_drift_envelope(steps):
+    """Between any two reads: (1-rho) dt <= dH <= (1+rho) dt."""
+    source = FakeSource()
+    clock = HostClock(rho=RHO, rate=1.0, time_source=source)
+    t0, h0 = clock.elapsed(), clock.read()
+    for kind, value in steps:
+        if kind == "advance":
+            source.advance(value)
+        else:
+            clock.set_rate(value)
+    t1, h1 = clock.elapsed(), clock.read()
+    dt, dh = t1 - t0, h1 - h0
+    assert dh >= (1.0 - RHO) * dt - 1e-9
+    assert dh <= (1.0 + RHO) * dt + 1e-9
+
+
+@given(
+    st.floats(min_value=0.0, max_value=10.0),
+    rates_in_band,
+    rates_in_band,
+    st.floats(min_value=0.0, max_value=10.0),
+)
+@settings(max_examples=200)
+def test_rate_rebinding_loses_no_elapsed_time(dt1, r1, r2, dt2):
+    """The reading just before and just after set_rate is identical, and
+    the segments integrate exactly: no time is dropped at the boundary."""
+    source = FakeSource()
+    clock = HostClock(rho=RHO, rate=r1, time_source=source)
+    source.advance(dt1)
+    before = clock.read()
+    clock.set_rate(r2)
+    after = clock.read()
+    assert after == pytest.approx(before, abs=1e-9)
+    source.advance(dt2)
+    expected = r1 * dt1 + r2 * dt2
+    # Same-instant rebinds collapse onto the open segment: the later
+    # rate legitimately covers the whole (zero-width-so-far) piece.
+    if dt1 > 1e-9:
+        assert clock.read() == pytest.approx(expected, rel=1e-9, abs=1e-9)
+
+
+def test_out_of_band_rate_rejected():
+    clock = HostClock(rho=0.1, rate=1.0, time_source=FakeSource())
+    with pytest.raises(DriftBoundError):
+        clock.set_rate(1.5)
+    with pytest.raises(DriftBoundError):
+        HostClock(rho=0.1, rate=0.5, time_source=FakeSource())
+
+
+def test_from_schedule_matches_schedule_exactly():
+    """A pre-programmed clock realizes the simulator schedule verbatim."""
+    schedule = PiecewiseConstantRate(
+        starts=(0.0, 2.0, 5.0), rates=(1.2, 0.8, 1.0)
+    )
+    source = FakeSource()
+    clock = HostClock.from_schedule(schedule, rho=RHO, time_source=source)
+    for elapsed in (0.0, 1.0, 2.0, 3.5, 5.0, 9.0):
+        assert clock.value_at_elapsed(elapsed) == pytest.approx(
+            schedule.value_at(elapsed), abs=1e-12
+        )
+        assert clock.elapsed_at_value(schedule.value_at(elapsed)) == pytest.approx(
+            elapsed, abs=1e-9
+        )
+
+
+def test_time_scale_maps_wall_seconds_to_sim_units():
+    source = FakeSource()
+    clock = HostClock(rho=0.0, rate=1.0, time_source=source, time_scale=0.5)
+    source.advance(1.0)  # one wall second = two sim units
+    assert clock.elapsed() == pytest.approx(2.0)
+    assert clock.read() == pytest.approx(2.0)
+    assert clock.wall_deadline(3.0) == pytest.approx(100.0 + 1.5)

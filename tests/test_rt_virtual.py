@@ -1,0 +1,138 @@
+"""Cross-validation: the virtual-time live runtime vs the simulator.
+
+The acceptance contract of the LiveNode adapter: an unchanged algorithm
+process run on :class:`VirtualTimeTransport` with the same (topology,
+rates, delays, seed, duration) produces an execution matching the
+:class:`Simulator`'s within the documented tolerance — in fact the two
+are identical to float round-off, because the engines share event
+ordering, RNG streams, and clock arithmetic.  Any widening of this gap
+is a semantic change in the adapter, not noise.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import RtError
+from repro.rt import LiveRunConfig, run_live
+from repro.sim.simulator import SimConfig, run_simulation
+from repro.sweep.families import (
+    algorithm_from_spec,
+    delay_policy_from_spec,
+    rates_from_spec,
+    topology_from_spec,
+)
+
+#: Documented sim-vs-virtual tolerance on per-sample skew trajectories.
+TOLERANCE = 1e-9
+
+
+def _sim_twin(config: LiveRunConfig):
+    """The simulator run of exactly the scenario ``config`` describes."""
+    topology = topology_from_spec(config.topology)
+    algorithm = algorithm_from_spec(config.algorithm)
+    return run_simulation(
+        topology,
+        algorithm.processes(topology),
+        SimConfig(duration=config.duration, rho=config.rho, seed=config.seed),
+        rate_schedules=rates_from_spec(
+            config.rates, topology, rho=config.rho, seed=config.seed,
+            horizon=config.duration,
+        ),
+        delay_policy=delay_policy_from_spec(config.delays),
+    )
+
+
+GRADIENT_8 = LiveRunConfig(
+    topology="line:8", algorithm="gradient", rates="drifted",
+    delays="uniform", duration=30.0, rho=0.2, seed=5, transport="virtual",
+)
+
+
+class TestCrossValidation:
+    def test_gradient_skew_trajectory_matches_simulator(self):
+        """The acceptance criterion: 8-node line, gradient, same seed —
+        the max-skew trajectory agrees within TOLERANCE at every sample."""
+        live = run_live(GRADIENT_8)
+        sim = _sim_twin(GRADIENT_8)
+        times = sim.sample_times(0.5)
+        live_traj = np.array([live.max_skew(t) for t in times])
+        sim_traj = np.array([sim.max_skew(t) for t in times])
+        assert np.abs(live_traj - sim_traj).max() <= TOLERANCE
+
+    def test_trace_and_messages_identical(self):
+        live = run_live(GRADIENT_8)
+        sim = _sim_twin(GRADIENT_8)
+        assert len(live.trace) == len(sim.trace)
+        for a, b in zip(live.trace, sim.trace):
+            assert repr(a) == repr(b)
+        assert [repr(m) for m in live.messages] == [repr(m) for m in sim.messages]
+
+    @pytest.mark.parametrize(
+        "algorithm", ["max-based", "averaging", "slewing-max", "srikanth-toueg"]
+    )
+    def test_every_algorithm_matches_simulator(self, algorithm):
+        config = LiveRunConfig(
+            topology="ring:6", algorithm=algorithm, rates="spread",
+            delays="half", duration=15.0, rho=0.2, seed=2, transport="virtual",
+        )
+        live = run_live(config)
+        sim = _sim_twin(config)
+        for t in sim.sample_times(1.0):
+            assert abs(live.max_skew(t) - sim.max_skew(t)) <= TOLERANCE
+
+    def test_virtual_runs_deterministic(self):
+        one = run_live(GRADIENT_8)
+        two = run_live(GRADIENT_8)
+        assert [repr(e) for e in one.trace] == [repr(e) for e in two.trace]
+
+
+class TestExecutionCompatibility:
+    """Live executions feed the whole measurement stack verbatim."""
+
+    def test_model_compliance_checks_pass(self):
+        execution = run_live(GRADIENT_8)
+        execution.check_validity()
+        execution.check_drift_bounds()
+        execution.check_delay_bounds()
+
+    def test_analysis_functions_accept_live_runs(self):
+        from repro.analysis.convergence import settling_time
+        from repro.analysis.skew import summarize
+
+        execution = run_live(GRADIENT_8)
+        skew = summarize(execution)
+        assert skew.max_skew > 0.0
+        settling_time(execution, threshold=5.0)  # shape check, value free
+        profile = execution.gradient_profile()
+        assert min(profile) == pytest.approx(1.0)
+        assert execution.source == "live-virtual"
+
+    def test_trace_queries_work(self):
+        execution = run_live(GRADIENT_8)
+        for node in execution.topology.nodes:
+            observations = execution.trace.local_observations(node)
+            assert observations[0][0] == "start"
+
+
+class TestConfigValidation:
+    def test_unknown_transport_rejected(self):
+        with pytest.raises(RtError):
+            LiveRunConfig(transport="carrier-pigeon")
+
+    def test_bad_duration_rejected(self):
+        with pytest.raises(RtError):
+            LiveRunConfig(duration=0.0)
+
+    def test_bad_time_scale_rejected(self):
+        with pytest.raises(RtError):
+            LiveRunConfig(time_scale=-1.0)
+
+    def test_virtual_transport_runs_once(self):
+        from repro.rt import LiveRecorder, VirtualTimeTransport
+
+        transport = VirtualTimeTransport(recorder=LiveRecorder(), seed=0)
+        transport.run({}, 1.0)
+        with pytest.raises(RtError):
+            transport.run({}, 1.0)
