@@ -1,0 +1,159 @@
+"""Analysis-core throughput: scalar ``value_at`` path vs ``SkewField``.
+
+Run with pytest (``python -m pytest benchmarks/bench_analysis.py -s``)
+or directly (``python benchmarks/bench_analysis.py``).  One benign
+128-node execution is measured twice:
+
+* **scalar** — the pre-vectorization path: ``skew_matrix`` /
+  ``max_adjacent_skew`` / ``logical_snapshot`` once per sample time,
+  each a ``value_at`` bisect per node (kept as the simulator-facing
+  API, so it doubles as the reference implementation);
+* **batched** — one :class:`~repro.analysis.field.SkewField` build
+  answering ``summarize`` and ``gradient_profile`` from the trajectory
+  matrix.
+
+The batched path must be **>= 10x** faster on both queries and must
+agree with the scalar path within 1e-9.  Headline numbers land in
+``BENCH_analysis.json`` at the repo root so the perf trajectory is
+recorded next to the code.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+import numpy as np
+
+from conftest import write_headline
+from repro.algorithms import MaxBasedAlgorithm
+from repro.analysis.field import SkewField
+from repro.analysis.reporting import Table
+from repro.analysis.skew import SkewSummary, summarize
+from repro.sim.simulator import SimConfig, run_simulation
+from repro.sweep.families import drifted_rates
+from repro.topology.generators import line
+
+N_NODES = 128
+DURATION = 60.0
+STEP = 0.25
+REQUIRED_SPEEDUP = 10.0
+
+
+def build_execution():
+    topology = line(N_NODES)
+    algorithm = MaxBasedAlgorithm()
+    return run_simulation(
+        topology,
+        algorithm.processes(topology),
+        SimConfig(duration=DURATION, rho=0.2, seed=0),
+        rate_schedules=drifted_rates(topology, rho=0.2, seed=0),
+    )
+
+
+# ----------------------------------------------------------------------
+# the scalar reference path (what summarize/gradient_profile did before)
+
+
+def scalar_summarize(execution, *, step: float) -> SkewSummary:
+    times = execution.sample_times(step)
+    peak, peak_adj, abs_sum, count = 0.0, 0.0, 0.0, 0
+    for t in times:
+        m = execution.skew_matrix(t)
+        peak = max(peak, float(np.abs(m).max()))
+        peak_adj = max(peak_adj, execution.max_adjacent_skew(t))
+        abs_sum += float(np.abs(m).sum()) / max(m.size - m.shape[0], 1)
+        count += 1
+    return SkewSummary(
+        max_skew=peak,
+        max_adjacent_skew=peak_adj,
+        final_skew=execution.max_skew(execution.duration),
+        final_adjacent_skew=execution.max_adjacent_skew(execution.duration),
+        mean_abs_skew=abs_sum / max(count, 1),
+    )
+
+
+def scalar_gradient_profile(execution, times) -> dict[float, float]:
+    profile: dict[float, float] = {}
+    snapshots = [execution.logical_snapshot(t) for t in times]
+    for i, j in execution.topology.pairs():
+        d = round(execution.topology.distance(i, j), 9)
+        worst = max(abs(snap[i] - snap[j]) for snap in snapshots)
+        if worst > profile.get(d, float("-inf")):
+            profile[d] = worst
+    return dict(sorted(profile.items()))
+
+
+def _timed(fn):
+    start = time.perf_counter()
+    out = fn()
+    return time.perf_counter() - start, out
+
+
+def test_analysis_speedup():
+    execution = build_execution()
+    times = execution.sample_times(STEP)
+
+    scalar_sum_s, scalar_sum = _timed(
+        lambda: scalar_summarize(execution, step=STEP)
+    )
+    scalar_prof_s, scalar_prof = _timed(
+        lambda: scalar_gradient_profile(execution, times)
+    )
+    batched_sum_s, batched_sum = _timed(lambda: summarize(execution, step=STEP))
+    batched_prof_s, batched_prof = _timed(
+        lambda: SkewField(execution, times).gradient_profile()
+    )
+
+    # Equivalence first: speed means nothing if the numbers moved.
+    for a, b in zip(scalar_sum.as_row(), batched_sum.as_row()):
+        assert abs(a - b) <= 1e-9, (scalar_sum, batched_sum)
+    assert scalar_prof.keys() == batched_prof.keys()
+    for d in scalar_prof:
+        assert abs(scalar_prof[d] - batched_prof[d]) <= 1e-9
+
+    sum_speedup = scalar_sum_s / batched_sum_s
+    prof_speedup = scalar_prof_s / batched_prof_s
+
+    table = Table(
+        title=f"bench_analysis: {N_NODES}-node line, {len(times)} samples",
+        headers=["query", "scalar s", "batched s", "speedup"],
+        caption=f"required speedup {REQUIRED_SPEEDUP}x on both queries.",
+    )
+    table.add_row("summarize", scalar_sum_s, batched_sum_s, sum_speedup)
+    table.add_row("gradient_profile", scalar_prof_s, batched_prof_s, prof_speedup)
+    print("\n" + table.render())
+
+    path = write_headline(
+        "analysis",
+        {
+            "n_nodes": N_NODES,
+            "duration": DURATION,
+            "step": STEP,
+            "samples": len(times),
+            "summarize": {
+                "scalar_s": scalar_sum_s,
+                "batched_s": batched_sum_s,
+                "speedup": sum_speedup,
+            },
+            "gradient_profile": {
+                "scalar_s": scalar_prof_s,
+                "batched_s": batched_prof_s,
+                "speedup": prof_speedup,
+            },
+        },
+    )
+    print(f"headline numbers -> {path}")
+
+    assert sum_speedup >= REQUIRED_SPEEDUP, (
+        f"summarize only {sum_speedup:.1f}x faster batched"
+    )
+    assert prof_speedup >= REQUIRED_SPEEDUP, (
+        f"gradient_profile only {prof_speedup:.1f}x faster batched"
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    test_analysis_speedup()
+    print("\nbench_analysis: ok")
+    sys.exit(0)

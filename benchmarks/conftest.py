@@ -8,9 +8,11 @@ pytest-benchmark, prints the regenerated table, and writes it under
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
 
 RESULTS_DIR = Path(__file__).parent / "results"
+REPO_ROOT = Path(__file__).parent.parent
 
 
 def report(result) -> None:
@@ -19,3 +21,15 @@ def report(result) -> None:
     text = result.render()
     (RESULTS_DIR / f"{result.experiment_id}.txt").write_text(text + "\n")
     print("\n" + text)
+
+
+def write_headline(name: str, payload: dict) -> Path:
+    """Record a benchmark's headline numbers at the repo root.
+
+    Writes ``BENCH_<name>.json`` next to README.md so the performance
+    trajectory is versioned alongside the code it measures (the analysis
+    bench writes ``BENCH_analysis.json`` this way).
+    """
+    path = REPO_ROOT / f"BENCH_{name}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path

@@ -2,7 +2,8 @@
 # CI smoke: tier-1 tests, then one quick-scale parallel sweep end-to-end,
 # then the fault/robustness suite (E13 + the `faults`-marked tests),
 # then the live runtime (a <=10s virtual-time demo, a UDP E14 quick cell,
-# and the E14 sim-vs-live table), then the engine benchmarks.
+# and the E14 sim-vs-live table), then the scale experiment E15 and the
+# engine/analysis benchmarks (bench_analysis records BENCH_analysis.json).
 #
 # Usage: bash scripts/ci_smoke.sh
 # Documented in README.md ("Tests and benchmarks").
@@ -62,6 +63,19 @@ grep -q "d final vs sim" "$ARTIFACTS/e14.txt" \
 if grep -q " NO " "$ARTIFACTS/e14.txt"; then
     echo "error: an E14 cell blew the skew bound" >&2; exit 1
 fi
+
+echo
+echo "== gradient profiles at scale (E15, vectorized analysis core) =="
+# Quick scale reaches D = 128 and must fit the 60s CI budget.
+timeout 60 python -m repro.experiments E15 --scale quick > "$ARTIFACTS/e15.txt"
+grep -q "field s" "$ARTIFACTS/e15.txt" \
+    || { echo "error: E15 produced no timing table" >&2; exit 1; }
+
+echo
+echo "== analysis core benchmark (scalar vs batched, >= 10x) =="
+python benchmarks/bench_analysis.py
+test -s BENCH_analysis.json \
+    || { echo "error: bench_analysis wrote no BENCH_analysis.json" >&2; exit 1; }
 
 echo
 echo "== sweep engine benchmark =="

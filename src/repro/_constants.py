@@ -20,6 +20,8 @@ from __future__ import annotations
 
 import math
 
+import numpy as np
+
 #: Logical clocks must advance at least this fast (Requirement 1).
 VALIDITY_RATE = 0.5
 
@@ -45,6 +47,35 @@ DEFAULT_RHO = 0.5
 
 #: Absolute tolerance for real-time / clock-value comparisons.
 TIME_EPS = 1e-9
+
+
+def window_starts(
+    horizon: float, *, window: float, step: float, t_from: float = 0.0
+) -> np.ndarray:
+    """Start times of every length-``window`` interval on an integer grid.
+
+    Returns ``t_from + k * step`` for every ``k`` with
+    ``t_from + k * step + window <= horizon + TIME_EPS`` — the windows a
+    Lemma 7.1 / Requirement 1 sweep must visit.  A ``t += step``
+    accumulator drifts by roughly ``count * eps * t`` and, at production
+    scales (tens of thousands of windows), silently skips the final
+    window near ``horizon``; the integer-index grid cannot.
+    """
+    if step <= 0:
+        raise ValueError(f"step must be positive, got {step}")
+    if window <= 0:
+        raise ValueError(f"window must be positive, got {window}")
+    span = horizon - t_from - window
+    if span < -TIME_EPS:
+        return np.empty(0)
+    count = max(int(math.floor(span / step + TIME_EPS)) + 1, 0)
+    # The division above can land one off for near-integer quotients;
+    # re-anchor on the defining inequality exactly.
+    while t_from + count * step + window <= horizon + TIME_EPS:
+        count += 1
+    while count > 0 and t_from + (count - 1) * step + window > horizon + TIME_EPS:
+        count -= 1
+    return t_from + step * np.arange(count)
 
 
 def tau(rho: float) -> float:

@@ -1,6 +1,7 @@
 """Measurement and reporting helpers for experiments and tests."""
 
 from repro.analysis.convergence import SteadyState, settling_time, steady_state
+from repro.analysis.field import SkewField
 from repro.analysis.gradient_profile import (
     ProfileFit,
     fit_linear,
@@ -24,6 +25,7 @@ from repro.analysis.skew import (
 )
 
 __all__ = [
+    "SkewField",
     "ProfileFit",
     "fit_linear",
     "normalize_profile",

@@ -9,8 +9,9 @@ threshold; :func:`steady_state` summarizes the tail of the run.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Iterable
+from typing import Callable
 
+from repro.analysis.field import SkewField
 from repro.sim.execution import Execution
 
 __all__ = ["SteadyState", "settling_time", "steady_state"]
@@ -22,20 +23,23 @@ def settling_time(
     *,
     step: float = 1.0,
     metric: Callable[[Execution, float], float] | None = None,
+    field: SkewField | None = None,
 ) -> float | None:
     """Earliest sample time after which the metric stays <= threshold.
 
-    ``metric`` defaults to network-wide max skew; pass e.g.
-    ``Execution.max_adjacent_skew`` for the local variant.  Returns
-    ``None`` if the run never settles (the honest answer for an
-    unsynchronized network).
+    ``metric`` defaults to network-wide max skew, answered from one
+    batched :class:`~repro.analysis.field.SkewField` (pass ``field`` to
+    reuse a prebuilt one); a custom per-time ``metric`` callable falls
+    back to the scalar sweep.  Returns ``None`` if the run never settles
+    (the honest answer for an unsynchronized network).
     """
-    metric = metric or Execution.max_skew
+    if metric is None:
+        field = field if field is not None else SkewField(execution, step=step)
+        return field.settling_time(threshold)
     times = execution.sample_times(step)
-    values = [metric(execution, t) for t in times]
     settled_from: float | None = None
-    for t, v in zip(times, values):
-        if v > threshold + 1e-9:
+    for t in times:
+        if metric(execution, t) > threshold + 1e-9:
             settled_from = None
         elif settled_from is None:
             settled_from = t
@@ -54,19 +58,12 @@ class SteadyState:
 
 
 def steady_state(
-    execution: Execution, *, tail_fraction: float = 0.25, step: float = 1.0
+    execution: Execution,
+    *,
+    tail_fraction: float = 0.25,
+    step: float = 1.0,
+    field: SkewField | None = None,
 ) -> SteadyState:
     """Summarize skew over the final ``tail_fraction`` of the run."""
-    if not 0.0 < tail_fraction <= 1.0:
-        raise ValueError("tail_fraction must be in (0, 1]")
-    start = execution.duration * (1.0 - tail_fraction)
-    times = [t for t in execution.sample_times(step) if t >= start]
-    maxes = [execution.max_skew(t) for t in times]
-    adjacents = [execution.max_adjacent_skew(t) for t in times]
-    return SteadyState(
-        mean_max_skew=sum(maxes) / len(maxes),
-        worst_max_skew=max(maxes),
-        mean_adjacent_skew=sum(adjacents) / len(adjacents),
-        worst_adjacent_skew=max(adjacents),
-        tail_start=start,
-    )
+    field = field if field is not None else SkewField(execution, step=step)
+    return field.steady_state(tail_fraction)

@@ -1,4 +1,10 @@
-"""Skew measurement utilities shared by experiments and tests."""
+"""Skew measurement utilities shared by experiments and tests.
+
+All functions here are thin views over a
+:class:`~repro.analysis.field.SkewField`: the execution's logical-value
+matrix is materialized once and every statistic is answered from it,
+instead of a ``value_at`` bisect per (node, sample time).
+"""
 
 from __future__ import annotations
 
@@ -7,6 +13,7 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
+from repro.analysis.field import SkewField
 from repro.sim.execution import Execution
 
 __all__ = [
@@ -38,42 +45,36 @@ class SkewSummary:
         )
 
 
-def summarize(execution: Execution, *, step: float = 1.0) -> SkewSummary:
-    """Peak/final skew statistics over a sampled grid."""
-    times = execution.sample_times(step)
-    peak, peak_adj, abs_sum, count = 0.0, 0.0, 0.0, 0
-    for t in times:
-        m = execution.skew_matrix(t)
-        peak = max(peak, float(np.abs(m).max()))
-        peak_adj = max(peak_adj, execution.max_adjacent_skew(t))
-        abs_sum += float(np.abs(m).sum()) / max(m.size - m.shape[0], 1)
-        count += 1
-    end = execution.duration
-    return SkewSummary(
-        max_skew=peak,
-        max_adjacent_skew=peak_adj,
-        final_skew=execution.max_skew(end),
-        final_adjacent_skew=execution.max_adjacent_skew(end),
-        mean_abs_skew=abs_sum / max(count, 1),
-    )
+def summarize(
+    execution: Execution, *, step: float = 1.0, field: SkewField | None = None
+) -> SkewSummary:
+    """Peak/final skew statistics over a sampled grid.
+
+    Pass a prebuilt ``field`` to share one trajectory matrix across
+    several statistics (the sweep engine's benign-run jobs do); the
+    final ``t = duration`` sample is read from the grid's last column
+    instead of being recomputed.
+    """
+    field = field if field is not None else SkewField(execution, step=step)
+    return field.summary()
 
 
 def peak_skew_over_time(
     execution: Execution, times: Sequence[float]
 ) -> np.ndarray:
     """``max_{i,j} |L_i - L_j|`` per sample time."""
-    return np.array([execution.max_skew(t) for t in times])
+    return SkewField(execution, times).max_skew_series()
 
 
 def peak_adjacent_over_time(
     execution: Execution, times: Sequence[float]
 ) -> np.ndarray:
     """``max adjacent |L_i - L_j|`` per sample time — Theorem 8.1's series."""
-    return np.array([execution.max_adjacent_skew(t) for t in times])
+    return SkewField(execution, times).max_adjacent_series()
 
 
 def skew_heatmap(
     execution: Execution, times: Iterable[float]
 ) -> np.ndarray:
     """Stack of signed skew matrices, one per sample (for offline plotting)."""
-    return np.stack([execution.skew_matrix(t) for t in times])
+    return SkewField(execution, list(times)).heatmap()

@@ -10,8 +10,11 @@ from __future__ import annotations
 import csv
 import io
 from pathlib import Path
-from typing import Iterable, Sequence
+from typing import Sequence
 
+import numpy as np
+
+from repro.analysis.field import SkewField
 from repro.sim.execution import Execution
 
 __all__ = ["sparkline", "skew_series", "adjacent_skew_series", "write_csv"]
@@ -43,9 +46,10 @@ def sparkline(values: Sequence[float], *, lo: float | None = None,
 def skew_series(
     execution: Execution, i: int, j: int, *, step: float = 1.0
 ) -> tuple[list[float], list[float]]:
-    """``(times, |L_i - L_j|)`` sampled across the execution."""
+    """``(times, |L_i - L_j|)`` sampled across the execution (batched)."""
     times = execution.sample_times(step)
-    return times, [abs(execution.skew(i, j, t)) for t in times]
+    series = np.abs(execution.skew_trajectory(i, j, times))
+    return times, [float(v) for v in series]
 
 
 def adjacent_skew_series(
@@ -53,7 +57,8 @@ def adjacent_skew_series(
 ) -> tuple[list[float], list[float]]:
     """``(times, max adjacent skew)`` — Theorem 8.1's watched quantity."""
     times = execution.sample_times(step)
-    return times, [execution.max_adjacent_skew(t) for t in times]
+    series = SkewField(execution, times).max_adjacent_series()
+    return times, [float(v) for v in series]
 
 
 def write_csv(

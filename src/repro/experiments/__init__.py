@@ -1,7 +1,7 @@
 """Experiment registry: every evaluation artifact of the paper, runnable.
 
 Each experiment is a function ``run(scale, *, seed) -> ExperimentResult``;
-the registry maps experiment ids (E01..E14) to them.  Benchmarks wrap the
+the registry maps experiment ids (E01..E15) to them.  Benchmarks wrap the
 same runners, and ``python -m repro.experiments E02`` runs one from the
 command line.
 """
@@ -25,6 +25,7 @@ from repro.experiments import (
     e12_candidates,
     e13_robustness,
     e14_live,
+    e15_scale,
 )
 from repro.experiments.common import ExperimentResult
 
@@ -45,6 +46,7 @@ REGISTRY: dict[str, Callable[..., ExperimentResult]] = {
     "E12": e12_candidates.run,
     "E13": e13_robustness.run,
     "E14": e14_live.run,
+    "E15": e15_scale.run,
 }
 
 

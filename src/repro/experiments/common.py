@@ -1,4 +1,4 @@
-"""Shared infrastructure for the E01-E14 experiment runners.
+"""Shared infrastructure for the E01-E15 experiment runners.
 
 The benign rate families (:func:`drifted_rates`, :func:`spread_rates`,
 :func:`wandering_rates`) now live in :mod:`repro.sweep.families` — the

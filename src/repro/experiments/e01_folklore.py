@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from repro.algorithms import BoundedCatchUpAlgorithm, MaxBasedAlgorithm
+from repro.analysis.field import SkewField
 from repro.analysis.reporting import Table
 from repro.experiments.common import ExperimentResult, Scale, pick
 from repro.gcs.folklore import force_distance_skew
@@ -27,27 +28,36 @@ def run(scale: Scale = "quick", *, rho: float = 0.5, seed: int = 0) -> Experimen
             "d",
             "rounds",
             "forced skew",
+            "peak |skew| over run",
             "guarantee d/12",
             "skew / d",
         ],
         caption="Section 5 item 1: f(d) = Omega(d); skew/d should be flat.",
     )
     series: dict[str, dict[int, float]] = {}
+    peaks: dict[str, dict[int, float]] = {}
     for algorithm in algorithms:
         series[algorithm.name] = {}
+        peaks[algorithm.name] = {}
         for d in distances:
             result = force_distance_skew(
                 algorithm, d, rho=rho, rounds=rounds, seed=seed
             )
+            # The endpoint pair's whole trajectory, from one batched
+            # field build — not just the closing instant.
+            field = SkewField(result.execution, step=1.0)
+            peak = float(field.pair_series(0, d).max())
             table.add_row(
                 algorithm.name,
                 d,
                 rounds,
                 result.forced_skew,
+                peak,
                 result.guaranteed,
                 result.skew_per_distance,
             )
             series[algorithm.name][d] = result.forced_skew
+            peaks[algorithm.name][d] = peak
     return ExperimentResult(
         experiment_id="E01",
         title="folklore Omega(d) lower bound",
@@ -57,5 +67,10 @@ def run(scale: Scale = "quick", *, rho: float = 0.5, seed: int = 0) -> Experimen
             "Realized via one-sided Add Skew on the line 0..d (DESIGN.md "
             "documents the substitution for the shift argument).",
         ],
-        data={"series": series, "distances": distances, "rounds": rounds},
+        data={
+            "series": series,
+            "peaks": peaks,
+            "distances": distances,
+            "rounds": rounds,
+        },
     )

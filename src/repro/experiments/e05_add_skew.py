@@ -11,6 +11,7 @@ from __future__ import annotations
 from typing import Any, Mapping
 
 from repro._constants import tau as tau_of
+from repro.analysis.field import SkewField
 from repro.analysis.reporting import Table
 from repro.experiments.common import ExperimentResult, Scale, pick
 from repro.gcs.add_skew import AddSkewPlan, apply_add_skew, verify_add_skew_claims
@@ -42,6 +43,9 @@ def add_skew_cell(params: Mapping[str, Any]) -> dict:
     assert_indistinguishable_prefix(alpha, beta)
     summary = verify_add_skew_claims(alpha, beta, plan)
     delays_ok = beta.delays_within(0.25, 0.75, received_from=plan.window_start)
+    # The attacked pair's full skew trajectory in beta, answered from one
+    # batched trajectory matrix (the cell's measurement path).
+    peak_pair = float(SkewField(beta, step=1.0).pair_series(0, span).max())
     return {
         "algorithm": params["algorithm"],
         "algorithm_name": algorithm.name,
@@ -49,6 +53,7 @@ def add_skew_cell(params: Mapping[str, Any]) -> dict:
         "gain": float(summary["gain"]),
         "guaranteed_gain": float(summary["guaranteed_gain"]),
         "window_shrink": float(summary["window_shrink"]),
+        "peak_pair_skew": peak_pair,
         "indistinguishable": True,  # assert above raises otherwise
         "delays_ok": bool(delays_ok),
     }
@@ -82,6 +87,7 @@ def run(
             "gain",
             "guarantee (j-i)/12",
             "T - T'",
+            "peak |skew|",
             "indist.",
             "delays in [d/4,3d/4]",
         ],
@@ -98,6 +104,7 @@ def run(
             m["gain"],
             m["guaranteed_gain"],
             m["window_shrink"],
+            m["peak_pair_skew"],
             "yes" if m["indistinguishable"] else "NO",
             "yes" if m["delays_ok"] else "NO",
         )

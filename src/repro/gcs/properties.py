@@ -18,6 +18,9 @@ import math
 from dataclasses import dataclass
 from typing import Callable, Iterable
 
+import numpy as np
+
+from repro.analysis.field import SkewField
 from repro.sim.execution import Execution
 
 __all__ = [
@@ -94,20 +97,31 @@ def check_gradient(
     the unit grid plus event density makes misses negligible, and the
     experiments only ever claim *violations* (which are witnessed
     exactly), never certifications.
+
+    Evaluated from one batched :class:`~repro.analysis.field.SkewField`
+    (one pair-series comparison per pair instead of a ``value_at`` per
+    (pair, time)); violations are returned in the scalar path's
+    time-major order.
     """
     times = list(times) if times is not None else execution.sample_times()
-    violations: list[GradientViolation] = []
-    for t in times:
-        snapshot = execution.logical_snapshot(t)
-        for i, j in execution.topology.pairs():
-            d = execution.topology.distance(i, j)
-            limit = bound(d)
-            skew = abs(snapshot[i] - snapshot[j])
-            if skew > limit + 1e-9:
-                violations.append(
-                    GradientViolation(i, j, t, skew, d, limit)
+    field = SkewField(execution, times)
+    hits: list[tuple[int, int, GradientViolation]] = []
+    for rank, (i, j) in enumerate(execution.topology.pairs()):
+        d = execution.topology.distance(i, j)
+        limit = bound(d)
+        series = field.pair_series(i, j)
+        for k in np.nonzero(series > limit + 1e-9)[0]:
+            hits.append(
+                (
+                    int(k),
+                    rank,
+                    GradientViolation(
+                        i, j, float(times[k]), float(series[k]), d, limit
+                    ),
                 )
-    return violations
+            )
+    hits.sort(key=lambda h: (h[0], h[1]))
+    return [violation for _, _, violation in hits]
 
 
 def empirical_f(

@@ -19,8 +19,7 @@ from __future__ import annotations
 import time
 from typing import Any, Mapping
 
-from repro.analysis.convergence import settling_time, steady_state
-from repro.analysis.skew import summarize
+from repro.analysis.field import SkewField
 from repro.rt.run import LiveRunConfig, run_live
 from repro.sweep.families import topology_from_spec
 from repro.sweep.jobs import job_kind
@@ -52,12 +51,15 @@ def live_run(params: Mapping[str, Any]) -> dict:
     wall_start = time.perf_counter()
     execution = run_live(config)
     wall_elapsed = time.perf_counter() - wall_start
-    skew = summarize(execution, step=step)
+    # Same batched measurement path as ``benign-run``: one SkewField,
+    # every metric answered from its trajectory matrix.
+    field = SkewField(execution, step=step)
+    skew = field.summary()
     threshold = float(
         params.get("settle_threshold", 2.0 * topology.diameter * config.rho)
     )
-    settled = settling_time(execution, threshold, step=step)
-    tail = steady_state(execution, step=step)
+    settled = field.settling_time(threshold)
+    tail = field.steady_state()
     return {
         "topology": config.topology,
         "algorithm": config.algorithm,

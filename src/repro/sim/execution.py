@@ -15,7 +15,7 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
-from repro._constants import TIME_EPS, VALIDITY_RATE
+from repro._constants import TIME_EPS, VALIDITY_RATE, window_starts
 from repro.errors import DelayBoundError, ValidityError
 from repro.sim.clock import HardwareClock, LogicalClock
 from repro.sim.messages import Message
@@ -69,6 +69,20 @@ class Execution:
         """All logical values at time ``t``."""
         return {n: self.logical_value(n, t) for n in self.topology.nodes}
 
+    def logical_matrix(self, times: Sequence[float] | np.ndarray) -> np.ndarray:
+        """The ``n x T`` matrix of logical values: row ``i`` is ``L_i``
+        over ``times``.
+
+        One batched :meth:`~repro.sim.clock.LogicalClock.values_at` call
+        per node replaces a ``value_at`` bisect per (node, time); this is
+        the trajectory matrix every :class:`~repro.analysis.field.SkewField`
+        query is answered from.
+        """
+        t = np.asarray(times, dtype=float)
+        return np.vstack(
+            [self.logical[n].values_at(t) for n in self.topology.nodes]
+        )
+
     # ------------------------------------------------------------------
     # skew summaries
 
@@ -93,20 +107,34 @@ class Execution:
         )
 
     def peak_adjacent_skew(self, times: Iterable[float]) -> tuple[float, float]:
-        """``(time, skew)`` of the largest adjacent skew over sample times."""
-        best_t, best = 0.0, float("-inf")
-        for t in times:
-            s = self.max_adjacent_skew(t)
-            if s > best:
-                best_t, best = t, s
-        return best_t, best
+        """``(time, skew)`` of the largest adjacent skew over sample times.
+
+        Raises :class:`ValueError` on an empty ``times`` iterable — the
+        old behaviour silently returned ``(0.0, -inf)``, which poisoned
+        every downstream max/mean it flowed into.
+        """
+        times = list(times)
+        if not times:
+            raise ValueError("peak_adjacent_skew needs at least one sample time")
+        from repro.analysis.field import SkewField
+
+        return SkewField(self, times).peak_adjacent_skew()
 
     def sample_times(self, step: float = 1.0) -> list[float]:
-        """Evenly spaced sample times covering the execution."""
+        """Evenly spaced sample times covering the execution.
+
+        The closing ``duration`` sample appears exactly once:
+        ``np.arange`` can emit a final grid point within float error of
+        ``duration`` (e.g. ``duration = 3 * 0.1``, ``step = 0.1``), which
+        used to double-count the final sample in every mean computed on
+        this grid.  Entries are plain Python floats.
+        """
         if step <= 0:
             raise ValueError("step must be positive")
-        times = list(np.arange(0.0, self.duration, step))
-        times.append(self.duration)
+        times = [float(t) for t in np.arange(0.0, self.duration, step)]
+        while times and times[-1] >= self.duration - TIME_EPS:
+            times.pop()
+        times.append(float(self.duration))
         return times
 
     def gradient_profile(
@@ -118,16 +146,15 @@ class Execution:
         network, the largest ``|L_i(t) - L_j(t)|`` seen over the sampled
         times among pairs at distance ``d``.  An algorithm satisfies
         ``f``-GCS on this run iff the profile sits below ``f``.
+
+        Answered from a :class:`~repro.analysis.field.SkewField` (one
+        batched trajectory matrix instead of ``O(T n^2)`` bisect
+        lookups), which is what makes diameters in the hundreds usable.
         """
+        from repro.analysis.field import SkewField
+
         times = list(times) if times is not None else self.sample_times()
-        profile: dict[float, float] = {}
-        snapshots = [self.logical_snapshot(t) for t in times]
-        for i, j in self.topology.pairs():
-            d = round(self.topology.distance(i, j), 9)
-            worst = max(abs(snap[i] - snap[j]) for snap in snapshots)
-            if worst > profile.get(d, float("-inf")):
-                profile[d] = worst
-        return dict(sorted(profile.items()))
+        return SkewField(self, times).gradient_profile()
 
     # ------------------------------------------------------------------
     # model-compliance checks
@@ -197,23 +224,39 @@ class Execution:
     def logical_trajectory(
         self, node: int, times: Sequence[float]
     ) -> np.ndarray:
-        return np.array([self.logical_value(node, t) for t in times])
+        return self.logical[node].values_at(np.asarray(times, dtype=float))
 
     def skew_trajectory(
         self, i: int, j: int, times: Sequence[float]
     ) -> np.ndarray:
-        return np.array([self.skew(i, j, t) for t in times])
+        t = np.asarray(times, dtype=float)
+        return self.logical[i].values_at(t) - self.logical[j].values_at(t)
+
+    def increase_window_starts(
+        self, *, window: float = 1.0, step: float = 0.25, t_from: float = 0.0
+    ) -> np.ndarray:
+        """The Lemma 7.1 window grid :meth:`max_logical_increase` sweeps.
+
+        Exposed so tests can pin the window count: the old ``t += step``
+        accumulator drifted and silently skipped the last window near
+        ``duration`` once executions got long enough.
+        """
+        return window_starts(
+            self.duration, window=window, step=step, t_from=t_from
+        )
 
     def max_logical_increase(self, *, window: float = 1.0, step: float = 0.25,
                              t_from: float = 0.0) -> float:
         """``max_i max_t L_i(t + window) - L_i(t)`` — Lemma 7.1's quantity."""
+        starts = self.increase_window_starts(
+            window=window, step=step, t_from=t_from
+        )
+        if starts.size == 0:
+            return 0.0
+        ends = starts + window
         worst = 0.0
         for node in self.topology.nodes:
-            t = t_from
-            while t + window <= self.duration + TIME_EPS:
-                gain = self.logical_value(node, t + window) - self.logical_value(
-                    node, t
-                )
-                worst = max(worst, gain)
-                t += step
+            clock = self.logical[node]
+            gains = clock.values_at(ends) - clock.values_at(starts)
+            worst = max(worst, float(gains.max()))
         return worst

@@ -23,8 +23,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Mapping
 
-from repro.analysis.convergence import settling_time, steady_state
-from repro.analysis.skew import summarize
+from repro.analysis.field import SkewField
 from repro.errors import SweepError
 from repro.sim.simulator import SimConfig, run_simulation
 from repro.sweep.families import (
@@ -46,7 +45,9 @@ __all__ = [
 ]
 
 #: Bump when a job kind's semantics change, to invalidate stale caches.
-CACHE_VERSION = 3
+#: v4: skew/convergence metrics answered from the vectorized SkewField
+#: (mean-abs summation order changed at the last-ulp level).
+CACHE_VERSION = 4
 
 #: kind name -> (callable, defining module name)
 _JOB_KINDS: Dict[str, tuple[Callable[[Mapping[str, Any]], dict], str]] = {}
@@ -156,12 +157,15 @@ def benign_run(params: Mapping[str, Any]) -> dict:
         delay_policy=delay_policy_from_spec(params["delays"]),
         fault_plan=fault_plan,
     )
-    skew = summarize(execution, step=step)
+    # One trajectory matrix answers every metric below — the batched
+    # analysis path; no per-(node, time) clock lookups.
+    field = SkewField(execution, step=step)
+    skew = field.summary()
     threshold = float(
         params.get("settle_threshold", 2.0 * topology.diameter * rho)
     )
-    settled = settling_time(execution, threshold, step=step)
-    tail = steady_state(execution, step=step)
+    settled = field.settling_time(threshold)
+    tail = field.steady_state()
     # Messages that made it onto the wire minus those a crash destroyed
     # at delivery time; link-level losses were never enqueued, so this
     # counts surviving network traffic consistently across fault

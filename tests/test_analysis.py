@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 
 from repro.algorithms import NullAlgorithm
+from repro.analysis.field import SkewField
 from repro.analysis.gradient_profile import (
     fit_linear,
     normalize_profile,
@@ -122,3 +123,60 @@ class TestSkewSummaries:
         hm = skew_heatmap(drift_exec, [0.0, 5.0])
         assert hm.shape == (2, 4, 4)
         assert np.allclose(hm[0], 0.0)
+
+
+class TestSkewField:
+    @pytest.fixture()
+    def drift_exec(self):
+        topo = line(4)
+        rates = {3: PiecewiseConstantRate.constant(1.5)}
+        return run_simulation(
+            topo,
+            NullAlgorithm().processes(topo),
+            SimConfig(duration=10.0, rho=0.5, seed=0),
+            rate_schedules=rates,
+        )
+
+    def test_matrix_shape_and_values(self, drift_exec):
+        field = SkewField(drift_exec, step=1.0)
+        assert field.values.shape == (4, 11)
+        # Node 3 runs at 1.5, everyone else at 1.0.
+        assert field.values[3, -1] == pytest.approx(15.0)
+        assert field.values[0, -1] == pytest.approx(10.0)
+
+    def test_series_queries(self, drift_exec):
+        field = SkewField(drift_exec, step=1.0)
+        assert field.max_skew() == pytest.approx(5.0)
+        assert field.max_adjacent_skew() == pytest.approx(5.0)
+        t, s = field.peak_adjacent_skew()
+        assert (t, s) == (pytest.approx(10.0), pytest.approx(5.0))
+        t, s = field.peak_skew()
+        assert (t, s) == (pytest.approx(10.0), pytest.approx(5.0))
+
+    def test_skew_matrix_column(self, drift_exec):
+        field = SkewField(drift_exec, [0.0, 8.0])
+        assert np.allclose(field.skew_matrix(1), drift_exec.skew_matrix(8.0))
+
+    def test_pair_series(self, drift_exec):
+        field = SkewField(drift_exec, [0.0, 5.0, 10.0])
+        assert field.pair_series(3, 0) == pytest.approx([0.0, 2.5, 5.0])
+
+    def test_mean_abs_matches_matrix_mean(self, drift_exec):
+        field = SkewField(drift_exec, step=2.0)
+        scalar = []
+        for t in drift_exec.sample_times(2.0):
+            m = np.abs(drift_exec.skew_matrix(t))
+            scalar.append(m.sum() / (m.size - m.shape[0]))
+        assert field.mean_abs_series() == pytest.approx(scalar, abs=1e-9)
+
+    def test_gradient_profile_matches_execution(self, drift_exec):
+        field = SkewField(drift_exec, drift_exec.sample_times())
+        assert field.gradient_profile() == drift_exec.gradient_profile()
+
+    def test_summary_matches_summarize(self, drift_exec):
+        field = SkewField(drift_exec, step=1.0)
+        assert field.summary() == summarize(drift_exec, step=1.0)
+
+    def test_rejects_empty_grid(self, drift_exec):
+        with pytest.raises(ValueError):
+            SkewField(drift_exec, [])

@@ -1,5 +1,6 @@
 """Tests for Execution measurement and validation (sim.execution)."""
 
+import numpy as np
 import pytest
 
 from repro.algorithms import MaxBasedAlgorithm, NullAlgorithm
@@ -78,6 +79,29 @@ class TestSkewSummaries:
         with pytest.raises(ValueError):
             ex.sample_times(0.0)
 
+    def test_sample_times_dedupes_inexact_tail(self):
+        # duration = 3 * 0.1 is not exactly representable; np.arange
+        # emits the duration itself as its last grid point, which used
+        # to double-count the final sample in every mean on this grid.
+        duration = 0.1 + 0.1 + 0.1  # 0.30000000000000004
+        assert list(np.arange(0.0, duration, 0.1))[-1] == duration
+        ex = drifted(duration=duration)
+        times = ex.sample_times(0.1)
+        assert times == [0.0, 0.1, 0.2, duration]
+        assert len(times) == len(set(times))
+
+    def test_sample_times_returns_plain_floats(self):
+        ex = drifted(duration=10.0)
+        for t in ex.sample_times(3.0):
+            assert type(t) is float
+
+    def test_peak_adjacent_skew_empty_times_raises(self):
+        ex = drifted(fast_node=2)
+        with pytest.raises(ValueError):
+            ex.peak_adjacent_skew([])
+        with pytest.raises(ValueError):
+            ex.peak_adjacent_skew(iter(()))
+
     def test_gradient_profile_monotone_in_distance_for_drift(self):
         ex = drifted(fast_node=4, duration=10.0)
         profile = ex.gradient_profile()
@@ -145,3 +169,27 @@ class TestTrajectories:
         ex = drifted(fast_node=2, duration=10.0)
         # Fastest clock runs at 1.5: max gain over 1 unit is 1.5.
         assert ex.max_logical_increase(window=1.0) == pytest.approx(1.5)
+
+    def test_increase_window_count_pinned(self):
+        ex = drifted(duration=10.0)
+        # floor((10 - 1) / 0.25) + 1 = 37 windows, last start at 9.0.
+        starts = ex.increase_window_starts(window=1.0, step=0.25)
+        assert starts.size == 37
+        assert starts[0] == 0.0
+        assert starts[-1] == pytest.approx(9.0)
+
+    def test_increase_window_grid_does_not_drift(self):
+        # The old `t += step` accumulator drifts by ~count * eps * t and
+        # silently skipped the final Lemma 7.1 window at this scale.
+        from repro._constants import TIME_EPS, window_starts
+
+        duration, window, step = 4096.0, 1.0, 0.05
+        t, accumulated = 0.0, 0
+        while t + window <= duration + TIME_EPS:
+            accumulated += 1
+            t += step
+        starts = window_starts(duration, window=window, step=step)
+        assert starts.size == int((duration - window) / step) + 1 == 81901
+        assert accumulated == 81900  # the drifting loop drops one
+        # Every start honours the defining inequality, including the last.
+        assert starts[-1] + window <= duration + TIME_EPS

@@ -15,8 +15,9 @@ from repro.experiments.cli import main as cli_main
 class TestRegistry:
     def test_all_experiments_present(self):
         # E01-E11 reproduce the paper; E12 (Section 9 candidates), E13
-        # (fault robustness), and E14 (sim-vs-live) are the extensions.
-        assert sorted(REGISTRY) == [f"E{k:02d}" for k in range(1, 15)]
+        # (fault robustness), E14 (sim-vs-live), and E15 (gradient
+        # profiles at scale) are the extensions.
+        assert sorted(REGISTRY) == [f"E{k:02d}" for k in range(1, 16)]
 
     def test_unknown_id_raises(self):
         with pytest.raises(ExperimentError):
@@ -85,6 +86,26 @@ class TestRunners:
             "slewing-max",
             "external",
         }
+
+    def test_e15_scale_cells_and_timings(self):
+        result = run_experiment("E15")
+        profiles = result.data["profiles"]
+        # Three topology families per diameter, profiles rising to D=128.
+        assert {c.split(":")[0] for c in profiles} == {
+            "line",
+            "grid",
+            "geometric",
+        }
+        assert "line:128" in profiles
+        for cell, profile in profiles.items():
+            assert profile, cell
+            assert all(v >= 0.0 for v in profile.values())
+        # The batched analysis must not dominate the simulation: the
+        # whole point is that big-D cells are simulation-bound now.
+        for cell, timing in result.data["timings"].items():
+            assert timing["field_s"] + timing["query_s"] < max(
+                timing["sim_s"], 1.0
+            ), cell
 
     def test_result_render_contains_tables(self):
         result = run_experiment("E03")
