@@ -1,0 +1,42 @@
+"""E16 — mobility & dynamic topologies (beyond the paper's model)."""
+
+import pytest
+
+from conftest import report
+from repro.experiments import run_experiment
+
+
+@pytest.mark.benchmark(group="E16-mobility")
+def test_e16_mobility(benchmark):
+    result = benchmark.pedantic(
+        run_experiment, args=("E16", "quick"), kwargs={"workers": 2},
+        rounds=1, iterations=1,
+    )
+    report(result)
+    ladder = result.tables[0].as_dicts()
+    assert ladder
+    # Stillness anchors at exactly 1x; every moving rung actually rewired.
+    for row in ladder:
+        if row["mobility"] == "waypoint:0,4":
+            assert float(row["x still"]) == pytest.approx(1.0)
+        if row["mobility"].startswith("waypoint"):
+            assert int(row["rewirings"]) > 0
+        else:
+            assert int(row["rewirings"]) == 0
+    # The gradient story: motion must raise the *adjacent* skew of at
+    # least one algorithm relative to its still twin.
+    adj = {
+        (r["topology"], r["algorithm"], r["mobility"]): float(r["final_adj"])
+        for r in ladder
+    }
+    assert any(
+        adj[(t, a, m)] > adj[(t, a, "waypoint:0,4")] + 1e-6
+        for (t, a, m) in adj
+        if m.startswith("waypoint") and m != "waypoint:0,4"
+    )
+    # Part 2: every algorithm's adjacent series spiked at the rewiring
+    # and the table reports a re-tightening verdict for each.
+    reconv = result.tables[1].as_dicts()
+    assert len(reconv) >= 3
+    for row in reconv:
+        assert float(row["peak adj"]) >= float(row["pre adj"]) - 1e-9

@@ -2,8 +2,10 @@
 # CI smoke: tier-1 tests, then one quick-scale parallel sweep end-to-end,
 # then the fault/robustness suite (E13 + the `faults`-marked tests),
 # then the live runtime (a <=10s virtual-time demo, a UDP E14 quick cell,
-# and the E14 sim-vs-live table), then the scale experiment E15 and the
-# engine/analysis benchmarks (bench_analysis records BENCH_analysis.json).
+# and the E14 sim-vs-live table), then the scale experiment E15, the
+# mobility experiment E16 (dynamic topologies end-to-end), the docs step
+# (module doctests + markdown link check), and the engine/analysis
+# benchmarks (bench_analysis records BENCH_analysis.json).
 #
 # Usage: bash scripts/ci_smoke.sh
 # Documented in README.md ("Tests and benchmarks").
@@ -70,6 +72,48 @@ echo "== gradient profiles at scale (E15, vectorized analysis core) =="
 timeout 60 python -m repro.experiments E15 --scale quick > "$ARTIFACTS/e15.txt"
 grep -q "field s" "$ARTIFACTS/e15.txt" \
     || { echo "error: E15 produced no timing table" >&2; exit 1; }
+
+echo
+echo "== mobility & dynamic topologies (E16) =="
+# Quick scale: speed ladder + re-convergence table, well under 60s.
+timeout 60 python -m repro.experiments E16 --scale quick --workers 2 \
+    > "$ARTIFACTS/e16.txt"
+grep -q "re-convergence after rewiring" "$ARTIFACTS/e16.txt" \
+    || { echo "error: E16 produced no re-convergence table" >&2; exit 1; }
+grep -q "rewirings" "$ARTIFACTS/e16.txt" \
+    || { echo "error: E16 produced no mobility ladder" >&2; exit 1; }
+# The mobility axis end-to-end through the sweep CLI.
+python -m repro.experiments sweep --topologies line:5 --algorithms max-based \
+    --rates drifted --mobility static,waypoint:0.5,4 \
+    --seeds 1 --duration 8 --workers 2 > "$ARTIFACTS/mobility_sweep.txt"
+grep -q "2 mobility families" "$ARTIFACTS/mobility_sweep.txt" \
+    || { echo "error: sweep CLI did not expand the mobility axis" >&2; exit 1; }
+
+echo
+echo "== docs: module doctests + markdown link check =="
+# Every module docstring example is runnable documentation; the paths
+# below are the modules the docs contract names (repro.topology.* and
+# repro.sweep.spec).
+python -m doctest src/repro/topology/base.py src/repro/topology/generators.py \
+    src/repro/topology/dynamic.py src/repro/sweep/spec.py
+# Relative markdown links in README.md and docs/ARCHITECTURE.md must
+# point at files that exist.
+python - <<'PY'
+import re, sys
+from pathlib import Path
+
+bad = []
+for doc in (Path("README.md"), Path("docs/ARCHITECTURE.md")):
+    for target in re.findall(r"\]\(([^)#]+)(?:#[^)]*)?\)", doc.read_text()):
+        if "://" in target:
+            continue
+        if not (doc.parent / target).exists():
+            bad.append(f"{doc}: {target}")
+if bad:
+    print("broken markdown links:\n  " + "\n  ".join(bad), file=sys.stderr)
+    sys.exit(1)
+print("markdown links ok")
+PY
 
 echo
 echo "== analysis core benchmark (scalar vs batched, >= 10x) =="

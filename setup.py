@@ -6,12 +6,13 @@ README = Path(__file__).parent / "README.md"
 
 setup(
     name="repro-gradient-clock-sync",
-    version="1.1.0",
+    version="1.2.0",
     description=(
         "Executable reproduction of 'Gradient Clock Synchronization' "
         "(Fan & Lynch, PODC 2004): simulator, lower-bound adversaries, "
-        "experiments E01-E14, a parallel scenario-sweep engine, and a "
-        "live runtime (virtual-time / asyncio / UDP transports)"
+        "experiments E01-E16, a parallel scenario-sweep engine, a "
+        "dynamic-topology & mobility subsystem, and a live runtime "
+        "(virtual-time / asyncio / UDP transports)"
     ),
     long_description=README.read_text() if README.exists() else "",
     long_description_content_type="text/markdown",

@@ -29,6 +29,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.analysis.convergence import SteadyState
     from repro.analysis.skew import SkewSummary
     from repro.sim.execution import Execution
+    from repro.topology.base import Topology
 
 __all__ = ["SkewField"]
 
@@ -69,6 +70,7 @@ class SkewField:
         self.values = execution.logical_matrix(self.times)
         self._max_series: np.ndarray | None = None
         self._adjacent_series: np.ndarray | None = None
+        self._segments_cache: list | None = None
 
     @property
     def n(self) -> int:
@@ -77,6 +79,36 @@ class SkewField:
     @property
     def n_samples(self) -> int:
         return int(self.times.size)
+
+    def topology_segments(self) -> list[tuple["Topology", np.ndarray]]:
+        """``(topology, column indices)`` groups of the sample grid.
+
+        Static executions yield one group holding every column; dynamic
+        executions (:attr:`Execution.topology_timeline`) yield one group
+        per topology snapshot that owns at least one sample time.  Every
+        distance-dependent query below folds over these groups, so the
+        gradient bound and the adjacent-pair set are always evaluated
+        against the network live at each sample.
+        """
+        if self._segments_cache is None:
+            timeline = getattr(self.execution, "topology_timeline", None)
+            if timeline is None or len(timeline) <= 1:
+                self._segments_cache = [
+                    (self.execution.topology, np.arange(self.times.size))
+                ]
+            else:
+                change_times = np.array([at for at, _ in timeline])
+                owner = np.clip(
+                    np.searchsorted(change_times, self.times, side="right") - 1,
+                    0,
+                    len(timeline) - 1,
+                )
+                self._segments_cache = [
+                    (topo, np.nonzero(owner == k)[0])
+                    for k, (_, topo) in enumerate(timeline)
+                    if np.any(owner == k)
+                ]
+        return list(self._segments_cache)
 
     # ------------------------------------------------------------------
     # per-sample-time series
@@ -93,14 +125,34 @@ class SkewField:
 
     def max_adjacent_series(self) -> np.ndarray:
         """``max`` adjacent ``|L_i - L_j|`` per sample time — Theorem
-        8.1's watched series."""
+        8.1's watched series.
+
+        On dynamic executions the adjacent (minimum-distance) pair set
+        is re-read per topology segment, so the series always watches
+        the pairs that are actually adjacent at each sample time.
+        """
         if self._adjacent_series is None:
-            pairs = self.execution.topology.adjacent_pairs()
-            a = np.fromiter((i for i, _ in pairs), dtype=int, count=len(pairs))
-            b = np.fromiter((j for _, j in pairs), dtype=int, count=len(pairs))
-            self._adjacent_series = np.abs(
-                self.values[a] - self.values[b]
-            ).max(axis=0)
+            segments = self.topology_segments()
+            if len(segments) == 1:
+                pairs = segments[0][0].adjacent_pairs()
+                a = np.fromiter((i for i, _ in pairs), dtype=int, count=len(pairs))
+                b = np.fromiter((j for _, j in pairs), dtype=int, count=len(pairs))
+                self._adjacent_series = np.abs(
+                    self.values[a] - self.values[b]
+                ).max(axis=0)
+            else:
+                series = np.empty(self.times.size)
+                for topology, cols in segments:
+                    pairs = topology.adjacent_pairs()
+                    a = np.fromiter(
+                        (i for i, _ in pairs), dtype=int, count=len(pairs)
+                    )
+                    b = np.fromiter(
+                        (j for _, j in pairs), dtype=int, count=len(pairs)
+                    )
+                    block = self.values[:, cols]
+                    series[cols] = np.abs(block[a] - block[b]).max(axis=0)
+                self._adjacent_series = series
         return self._adjacent_series
 
     def mean_abs_series(self) -> np.ndarray:
@@ -171,17 +223,28 @@ class SkewField:
         node yields every pair's worst skew over time; only the
         group-by-distance fold stays in Python (it preserves the scalar
         path's ``round(d, 9)`` keying exactly).
+
+        On dynamic executions each pair's skew is attributed to the
+        distance it had *when the skew was observed* (one fold per
+        topology segment), so the profile is the empirical ``f`` of
+        Requirement 2 read against time-varying distances.
         """
         profile: dict[float, float] = {}
-        distances = self.execution.topology.distances
-        for i in range(self.n - 1):
-            worst = np.abs(self.values[i + 1:] - self.values[i]).max(axis=1)
-            row = distances[i, i + 1:]
-            for offset in range(worst.shape[0]):
-                d = round(float(row[offset]), 9)
-                w = float(worst[offset])
-                if w > profile.get(d, float("-inf")):
-                    profile[d] = w
+        for topology, cols in self.topology_segments():
+            distances = topology.distances
+            block = (
+                self.values
+                if cols.size == self.times.size
+                else self.values[:, cols]
+            )
+            for i in range(self.n - 1):
+                worst = np.abs(block[i + 1:] - block[i]).max(axis=1)
+                row = distances[i, i + 1:]
+                for offset in range(worst.shape[0]):
+                    d = round(float(row[offset]), 9)
+                    w = float(worst[offset])
+                    if w > profile.get(d, float("-inf")):
+                        profile[d] = w
         return dict(sorted(profile.items()))
 
     # ------------------------------------------------------------------

@@ -1,7 +1,7 @@
 """Experiment registry: every evaluation artifact of the paper, runnable.
 
 Each experiment is a function ``run(scale, *, seed) -> ExperimentResult``;
-the registry maps experiment ids (E01..E15) to them.  Benchmarks wrap the
+the registry maps experiment ids (E01..E16) to them.  Benchmarks wrap the
 same runners, and ``python -m repro.experiments E02`` runs one from the
 command line.
 """
@@ -26,6 +26,7 @@ from repro.experiments import (
     e13_robustness,
     e14_live,
     e15_scale,
+    e16_mobility,
 )
 from repro.experiments.common import ExperimentResult
 
@@ -47,6 +48,7 @@ REGISTRY: dict[str, Callable[..., ExperimentResult]] = {
     "E13": e13_robustness.run,
     "E14": e14_live.run,
     "E15": e15_scale.run,
+    "E16": e16_mobility.run,
 }
 
 

@@ -1,6 +1,6 @@
 """Command-line entry point: ``python -m repro.experiments [ids|sweep|live]``.
 
-Three verbs share the entry point: bare experiment ids (``E01``..``E15``)
+Three verbs share the entry point: bare experiment ids (``E01``..``E16``)
 run individual reproductions, ``sweep`` dispatches to the parallel
 scenario-sweep engine (:mod:`repro.sweep.cli`), and ``live`` runs an
 algorithm on a real transport through the live runtime
@@ -66,7 +66,7 @@ def main(argv: list[str] | None = None) -> int:
         "ids",
         nargs="*",
         metavar="ID",
-        help="experiment ids (E01..E15), or 'sweep' / 'live'; default: all",
+        help="experiment ids (E01..E16), or 'sweep' / 'live'; default: all",
     )
     parser.add_argument(
         "--scale",

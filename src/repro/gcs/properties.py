@@ -102,24 +102,37 @@ def check_gradient(
     (one pair-series comparison per pair instead of a ``value_at`` per
     (pair, time)); violations are returned in the scalar path's
     time-major order.
+
+    On dynamic-topology executions the bound is evaluated against the
+    **time-varying** pairwise distance: each sample time is charged
+    ``f(d_ij(t))`` for the network live at ``t``
+    (:meth:`SkewField.topology_segments`), so a pair that drifts apart
+    is allowed proportionally more skew from the moment it is farther —
+    exactly the gradient property's reading of mobility.  Witnessed
+    violations carry the distance and limit that were in force at their
+    instant.
     """
     times = list(times) if times is not None else execution.sample_times()
     field = SkewField(execution, times)
+    segments = field.topology_segments()
     hits: list[tuple[int, int, GradientViolation]] = []
     for rank, (i, j) in enumerate(execution.topology.pairs()):
-        d = execution.topology.distance(i, j)
-        limit = bound(d)
         series = field.pair_series(i, j)
-        for k in np.nonzero(series > limit + 1e-9)[0]:
-            hits.append(
-                (
-                    int(k),
-                    rank,
-                    GradientViolation(
-                        i, j, float(times[k]), float(series[k]), d, limit
-                    ),
+        for topology, cols in segments:
+            d = topology.distance(i, j)
+            limit = bound(d)
+            block = series if cols.size == series.size else series[cols]
+            for offset in np.nonzero(block > limit + 1e-9)[0]:
+                k = int(cols[offset])
+                hits.append(
+                    (
+                        k,
+                        rank,
+                        GradientViolation(
+                            i, j, float(times[k]), float(series[k]), d, limit
+                        ),
+                    )
                 )
-            )
     hits.sort(key=lambda h: (h[0], h[1]))
     return [violation for _, _, violation in hits]
 

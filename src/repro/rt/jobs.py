@@ -66,6 +66,9 @@ def live_run(params: Mapping[str, Any]) -> dict:
         "rates": config.rates,
         "delays": config.delays,
         "faults": "none",
+        # The runtime has no dynamic-topology support yet; live rows are
+        # static by construction so they line up in merged cell tables.
+        "mobility": "static",
         "transport": config.transport,
         "seed": config.seed,
         "n_nodes": int(topology.n),

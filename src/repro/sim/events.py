@@ -17,7 +17,14 @@ from typing import Any, Optional
 
 from repro.errors import SimulationError
 
-__all__ = ["DeliverMessage", "FireTimer", "CrashNode", "RecoverNode", "EventQueue"]
+__all__ = [
+    "DeliverMessage",
+    "FireTimer",
+    "CrashNode",
+    "RecoverNode",
+    "TopologyChange",
+    "EventQueue",
+]
 
 
 @dataclass(frozen=True)
@@ -55,6 +62,21 @@ class RecoverNode:
     """A scheduled recovery of ``node`` (see :mod:`repro.sim.faults`)."""
 
     node: int
+
+
+@dataclass(frozen=True)
+class TopologyChange:
+    """An atomic swap of the network's distance/adjacency tables.
+
+    Scheduled from a :class:`~repro.topology.dynamic.DynamicTopology`'s
+    change-points before the event loop starts, so swaps take the lowest
+    sequence numbers at their instant and pop before same-instant
+    deliveries or timers: everything at time ``t`` already sees the new
+    network.  Messages in flight across a swap keep the delay they were
+    assigned at send time (the wire outlives the rewiring).
+    """
+
+    topology: Any
 
 
 @dataclass(order=True)

@@ -10,6 +10,7 @@ delay band, and the tighter bands the lemmas assume).
 
 from __future__ import annotations
 
+import bisect
 from dataclasses import dataclass
 from typing import Iterable, Sequence
 
@@ -44,6 +45,33 @@ class Execution:
     #: simulator, ``"live-<transport>"`` for :mod:`repro.rt` runs.  Every
     #: measurement defined on this class applies to both.
     source: str = "sim"
+    #: The ``(time, topology)`` timeline of a dynamic-topology run
+    #: (first entry at 0.0 — it equals :attr:`topology`); ``None`` for
+    #: static runs.  Distance-dependent measurements
+    #: (:meth:`topology_at`, :meth:`check_delay_bounds`, the
+    #: :class:`~repro.analysis.field.SkewField` adjacent/gradient
+    #: queries, :func:`repro.gcs.properties.check_gradient`) evaluate
+    #: against the network live at each instant.
+    topology_timeline: tuple[tuple[float, Topology], ...] | None = None
+
+    # ------------------------------------------------------------------
+    # topology queries
+
+    @property
+    def is_dynamic(self) -> bool:
+        """Whether the network rewired at least once during the run."""
+        return self.topology_timeline is not None and len(self.topology_timeline) > 1
+
+    def topology_at(self, t: float) -> Topology:
+        """The network live at real time ``t`` (:attr:`topology` if static)."""
+        timeline = self.topology_timeline
+        if timeline is None or len(timeline) == 1:
+            return self.topology
+        times = self.__dict__.get("_timeline_times")
+        if times is None:
+            times = [at for at, _ in timeline]
+            self.__dict__["_timeline_times"] = times
+        return timeline[max(bisect.bisect_right(times, t) - 1, 0)][1]
 
     # ------------------------------------------------------------------
     # clock queries
@@ -100,10 +128,11 @@ class Execution:
         """Largest absolute skew over minimum-distance pairs at ``t``.
 
         This is the quantity Theorem 8.1 bounds from below: skew between
-        nodes at distance 1.
+        nodes at distance 1.  On dynamic runs the minimum-distance pairs
+        are those of the network live at ``t``.
         """
         return max(
-            abs(self.skew(i, j, t)) for i, j in self.topology.adjacent_pairs()
+            abs(self.skew(i, j, t)) for i, j in self.topology_at(t).adjacent_pairs()
         )
 
     def peak_adjacent_skew(self, times: Iterable[float]) -> tuple[float, float]:
@@ -172,9 +201,14 @@ class Execution:
                 raise ValidityError(f"node {node} hardware rate out of bounds")
 
     def check_delay_bounds(self) -> None:
-        """Every delivered message's delay within ``[0, d_ij]``."""
+        """Every delivered message's delay within ``[0, d_ij]``.
+
+        ``d_ij`` is read from the network live at the message's *send*
+        time: a delay is chosen (and validated) when the message enters
+        the wire, and a later rewiring does not retroactively change it.
+        """
         for m in self.messages:
-            d = self.topology.distance(m.sender, m.receiver)
+            d = self.topology_at(m.send_time).distance(m.sender, m.receiver)
             if m.delay < -TIME_EPS or m.delay > d + TIME_EPS:
                 raise DelayBoundError(
                     f"message {m.seq} ({m.sender}->{m.receiver}) delay {m.delay} "
@@ -201,7 +235,7 @@ class Execution:
             rt = m.receive_time
             if rt < received_from - TIME_EPS or rt > until + TIME_EPS:
                 continue
-            d = self.topology.distance(m.sender, m.receiver)
+            d = self.topology_at(m.send_time).distance(m.sender, m.receiver)
             if m.delay < lo_frac * d - 1e-6 or m.delay > hi_frac * d + 1e-6:
                 return False
         return True

@@ -14,7 +14,9 @@ execution that the paper's indistinguishability arguments construct on
 paper — this is the mechanism behind :mod:`repro.gcs.add_skew` and
 :mod:`repro.gcs.lower_bound`.  An empty (or absent) fault plan builds no
 fault machinery at all, so fault-free runs stay byte-identical to what
-the simulator produced before faults existed.
+the simulator produced before faults existed; likewise a
+:class:`~repro.topology.dynamic.DynamicTopology` with no change-points
+schedules nothing and stays byte-identical to the plain static run.
 """
 
 from __future__ import annotations
@@ -32,6 +34,7 @@ from repro.sim.events import (
     EventQueue,
     FireTimer,
     RecoverNode,
+    TopologyChange,
 )
 from repro.sim.execution import Execution
 from repro.sim.faults import CrashingProcess, FaultController, FaultPlan
@@ -51,9 +54,11 @@ from repro.sim.trace import (
     SEND,
     START,
     TIMER,
+    TOPOLOGY,
     TraceEvent,
 )
 from repro.topology.base import Topology
+from repro.topology.dynamic import DynamicTopology
 
 __all__ = ["SimConfig", "Simulator", "run_simulation"]
 
@@ -85,7 +90,7 @@ class Simulator:
 
     def __init__(
         self,
-        topology: Topology,
+        topology: Topology | DynamicTopology,
         processes: Mapping[int, Process],
         config: SimConfig,
         *,
@@ -93,11 +98,23 @@ class Simulator:
         delay_policy: Optional[DelayPolicy] = None,
         fault_plan: Optional[FaultPlan] = None,
     ):
+        # A DynamicTopology with no change-points is free: nothing is
+        # scheduled, and the run stays byte-identical to the same run on
+        # the plain static topology (the mobility mirror of the empty
+        # FaultPlan contract).
+        if isinstance(topology, DynamicTopology):
+            self._dynamic: Optional[DynamicTopology] = (
+                None if topology.is_static() else topology
+            )
+            topology = topology.initial
+        else:
+            self._dynamic = None
         if set(processes) != set(topology.nodes):
             raise SimulationError("processes must cover exactly the topology's nodes")
         if config.duration <= 0:
             raise SimulationError("duration must be positive")
         self.topology = topology
+        self._topology_timeline: list[tuple[float, Topology]] = [(0.0, topology)]
         self.config = config
         self.delay_policy: DelayPolicy = delay_policy or HalfDistanceDelay()
         self._processes = dict(processes)
@@ -217,9 +234,18 @@ class Simulator:
         self._finished = True
         duration = self.config.duration
 
+        if self._dynamic is not None:
+            # Scheduled before everything else, so a swap at time t pops
+            # ahead of same-instant deliveries, timers, and fault events:
+            # all activity at t already runs on the new network.
+            for at, topology in self._dynamic.snapshots[1:]:
+                if at <= duration + TIME_EPS:
+                    self._queue.push(at, TopologyChange(topology))
+
         if self._faults is not None:
-            # Scheduled first, so crash/recovery events take the lowest
-            # sequence numbers and pop before same-instant deliveries.
+            # Scheduled before the node activity below (topology swaps
+            # are earlier still), so crash/recovery events pop before
+            # same-instant deliveries and timers.
             self._faults.schedule(self._queue.push)
 
         for node in self.topology.nodes:
@@ -252,6 +278,8 @@ class Simulator:
                 self._crash(event.node)
             elif isinstance(event, RecoverNode):
                 self._recover(event.node)
+            elif isinstance(event, TopologyChange):
+                self._retopologize(event.topology)
             else:  # pragma: no cover - queue only ever holds these kinds
                 raise SimulationError(f"unknown event {event!r}")
         self.now = duration
@@ -320,9 +348,37 @@ class Simulator:
         )
         self._processes[node].on_recover(self._api[node])
 
+    def _retopologize(self, topology: Topology) -> None:
+        """Atomically swap the distance/adjacency tables.
+
+        Everything routed through ``self.topology`` — neighbor lists,
+        distances, delay validation — sees the new network from this
+        instant on.  Messages already in flight keep their assigned
+        delays (validated against the distance at *send* time; see
+        :meth:`Execution.check_delay_bounds`).  The change is recorded
+        with ``node = -1``: it is the adversary's action, invisible to
+        every node's local projection.
+        """
+        self.topology = topology
+        self._topology_timeline.append((self.now, topology))
+        self.record(
+            TraceEvent(
+                real_time=self.now,
+                node=-1,
+                hardware=0.0,
+                logical=0.0,
+                kind=TOPOLOGY,
+                detail=topology.name,
+            )
+        )
+
     def _build_execution(self) -> Execution:
+        # Execution.topology is the t = 0 network; dynamic runs also
+        # carry the full (time, topology) timeline so measurements can
+        # evaluate distance-dependent quantities against the network
+        # that was actually live at each instant.
         return Execution(
-            topology=self.topology,
+            topology=self._topology_timeline[0][1],
             duration=self.config.duration,
             rho=self.config.rho,
             hardware={n: self._hardware[n] for n in self.topology.nodes},
@@ -330,11 +386,14 @@ class Simulator:
             trace=self._trace,
             messages=list(self._messages),
             fault_stats=None if self._faults is None else dict(self._faults.stats),
+            topology_timeline=(
+                None if self._dynamic is None else tuple(self._topology_timeline)
+            ),
         )
 
 
 def run_simulation(
-    topology: Topology,
+    topology: Topology | DynamicTopology,
     processes: Mapping[int, Process],
     config: SimConfig,
     *,

@@ -25,6 +25,7 @@ __all__ = [
     "START",
     "CRASH",
     "RECOVER",
+    "TOPOLOGY",
 ]
 
 SEND = "send"
@@ -35,6 +36,9 @@ RATE = "rate"
 START = "start"
 CRASH = "crash"
 RECOVER = "recover"
+#: A dynamic-topology change-point (adversary-side, not node-observable;
+#: recorded with ``node = -1`` so no node's local projection sees it).
+TOPOLOGY = "topology"
 
 
 @dataclass(frozen=True)

@@ -27,13 +27,16 @@ from repro.sweep.families import (
     ALGORITHM_KINDS,
     DELAY_POLICIES,
     FAULT_FAMILIES,
+    MOBILITY_FAMILIES,
     RATE_FAMILIES,
     TOPOLOGY_KINDS,
     algorithm_from_spec,
     delay_policy_from_spec,
     drifted_rates,
     fault_plan_from_spec,
+    mobility_from_spec,
     parse_fault_spec,
+    parse_mobility_spec,
     rates_from_spec,
     spread_rates,
     topology_from_spec,
@@ -77,12 +80,15 @@ __all__ = [
     "RATE_FAMILIES",
     "DELAY_POLICIES",
     "FAULT_FAMILIES",
+    "MOBILITY_FAMILIES",
     "topology_from_spec",
     "algorithm_from_spec",
     "rates_from_spec",
     "delay_policy_from_spec",
     "fault_plan_from_spec",
     "parse_fault_spec",
+    "mobility_from_spec",
+    "parse_mobility_spec",
     "drifted_rates",
     "spread_rates",
     "wandering_rates",

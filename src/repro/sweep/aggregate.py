@@ -34,8 +34,17 @@ __all__ = [
 ]
 
 #: The axes that define one scenario cell (seeds are averaged within it).
-#: ``transport`` separates simulator rows ("sim") from live-runtime rows.
-CELL_KEYS = ("topology", "algorithm", "rates", "delays", "faults", "transport")
+#: ``transport`` separates simulator rows ("sim") from live-runtime rows;
+#: ``mobility`` separates static cells from dynamic-topology ones.
+CELL_KEYS = (
+    "topology",
+    "algorithm",
+    "rates",
+    "delays",
+    "faults",
+    "mobility",
+    "transport",
+)
 
 #: Metrics aggregated over seeds in the summary table.
 SUMMARY_METRICS = (

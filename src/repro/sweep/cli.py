@@ -55,6 +55,15 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--mobility",
+        help=(
+            "comma-separated mobility families (override preset), e.g. "
+            "'static,waypoint:0.5,blink:0.3,8' (a comma starts a new "
+            "family only before a name, so numeric arguments stay "
+            "intact); non-static families need --transports sim"
+        ),
+    )
+    parser.add_argument(
         "--transports",
         help=(
             "comma-separated execution backends per cell: 'sim' "
@@ -103,6 +112,7 @@ def _resolve_spec(args: argparse.Namespace) -> SweepSpec:
         ("rates", "rate_families"),
         ("delays", "delay_policies"),
         ("faults", "fault_families"),
+        ("mobility", "mobilities"),
         ("transports", "transports"),
     ):
         value = getattr(args, flag)
@@ -152,6 +162,7 @@ def main(argv: list[str] | None = None) -> int:
         f"x {len(spec.rate_families)} rate families x "
         f"{len(spec.delay_policies)} delay policies x "
         f"{len(spec.fault_families)} fault families x "
+        f"{len(spec.mobilities)} mobility families x "
         f"{len(spec.transports)} transports x {len(spec.seeds)} seeds), "
         f"{args.workers} worker(s)"
     )

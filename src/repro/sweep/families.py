@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import random
 import zlib
-from typing import Callable, Dict
+from typing import Callable, Dict, Optional
 
 from repro._constants import DEFAULT_RHO
 from repro.algorithms import (
@@ -30,7 +30,7 @@ from repro.algorithms import (
     SrikanthTouegAlgorithm,
     SyncAlgorithm,
 )
-from repro.errors import FaultError, SweepError
+from repro.errors import FaultError, SweepError, TopologyError
 from repro.sim.faults import FaultPlan
 from repro.sim.messages import (
     DelayPolicy,
@@ -42,6 +42,7 @@ from repro.sim.messages import (
 from repro.sim.rates import PiecewiseConstantRate, random_walk_schedule
 from repro.topology import generators
 from repro.topology.base import Topology
+from repro.topology.dynamic import DynamicTopology, link_schedule, random_waypoint
 
 __all__ = [
     "drifted_rates",
@@ -53,11 +54,14 @@ __all__ = [
     "delay_policy_from_spec",
     "fault_plan_from_spec",
     "parse_fault_spec",
+    "mobility_from_spec",
+    "parse_mobility_spec",
     "TOPOLOGY_KINDS",
     "ALGORITHM_KINDS",
     "RATE_FAMILIES",
     "DELAY_POLICIES",
     "FAULT_FAMILIES",
+    "MOBILITY_FAMILIES",
 ]
 
 
@@ -360,6 +364,119 @@ def parse_fault_spec(spec: str) -> tuple[str, list[float]]:
         return name, [float(a) for a in args]
     except ValueError as exc:
         raise SweepError(f"{spec!r}: non-numeric argument") from exc
+
+
+# ----------------------------------------------------------------------
+# mobility families (the dynamic-topology axis; see repro.topology.dynamic)
+
+
+def _waypoint_mobility(
+    topology: Topology,
+    seed: int,
+    horizon: float,
+    speed: float = 0.5,
+    interval: float = 5.0,
+) -> DynamicTopology:
+    """Random-waypoint mobility over the cell topology's *node count*.
+
+    Mobility generates its own geometry: the cell's topology donates
+    only ``n`` (its distances describe a frozen placement, which is
+    exactly what this axis replaces).  Area and communication radius
+    follow :func:`repro.topology.dynamic.random_waypoint` defaults, so
+    density stays comparable across node counts; every snapshot is
+    connected (the generator's bridging guarantee).  Argument validation
+    is the generator's; :func:`mobility_from_spec` converts its
+    :class:`~repro.errors.TopologyError` into a spec-labelled
+    :class:`~repro.errors.SweepError`.
+    """
+    return random_waypoint(
+        topology.n,
+        speed=speed,
+        duration=horizon,
+        interval=interval,
+        seed=(seed * 0x9E3779B1) ^ 0x30B1,
+    )
+
+
+def _blink_mobility(
+    topology: Topology,
+    seed: int,
+    horizon: float,
+    frac: float = 0.3,
+    period: float = 8.0,
+) -> DynamicTopology:
+    """Periodic link blinking on the cell topology itself.
+
+    Every ``period``, a seeded sample of ``frac`` of the comm edges is
+    removed from the communication graph for the first half of the
+    cycle (distances never change — this is graph rewiring, not message
+    loss).  The :func:`link_schedule` window idiom; snapshots may be
+    partitioned while edges are down.
+    """
+    if not 0.0 < frac < 1.0:
+        raise SweepError(f"blink fraction must be in (0, 1), got {frac}")
+    if period <= 0.0:
+        raise SweepError(f"blink period must be positive, got {period}")
+    edges = topology.comm_pairs()
+    if len(edges) < 2:
+        # The clamp below always leaves at least one edge standing;
+        # with a single edge that would mean blinking nothing at all.
+        raise SweepError(
+            f"blink needs a topology with at least 2 comm edges, "
+            f"{topology.name!r} has {len(edges)}"
+        )
+    count = min(max(1, round(frac * len(edges))), len(edges) - 1)
+    rng = random.Random((seed * 0x9E3779B1) ^ 0xB11C)
+    down: dict[tuple[int, int], list[tuple[float, float]]] = {}
+    t = 0.0
+    while t < horizon:
+        for edge in sorted(rng.sample(edges, count)):
+            down.setdefault(edge, []).append((t, min(t + period / 2.0, horizon)))
+        t += period
+    return link_schedule(topology, down, name=f"{topology.name}+blink")
+
+
+#: family -> builder(topology, seed, horizon, *numeric args) for dynamic
+#: topologies: ``static`` (no mobility — the free, byte-identical path),
+#: ``waypoint:speed[,interval]``, ``blink:frac[,period]``.
+MOBILITY_FAMILIES: Dict[str, Callable[..., Optional[DynamicTopology]]] = {
+    "static": lambda topology, seed, horizon: None,
+    "waypoint": _waypoint_mobility,
+    "blink": _blink_mobility,
+}
+
+
+def parse_mobility_spec(spec: str) -> tuple[str, list[float]]:
+    """Fail-fast parse of a mobility spec string (no topology needed)."""
+    name, args = _split(spec)
+    if name not in MOBILITY_FAMILIES:
+        raise SweepError(
+            f"unknown mobility family {spec!r}; families: "
+            f"{sorted(MOBILITY_FAMILIES)}"
+        )
+    try:
+        return name, [float(a) for a in args]
+    except ValueError as exc:
+        raise SweepError(f"{spec!r}: non-numeric argument") from exc
+
+
+def mobility_from_spec(
+    spec: str, topology: Topology, *, seed: int, horizon: float
+) -> Optional[DynamicTopology]:
+    """Instantiate a mobility family for one run, e.g. ``"waypoint:0.5"``.
+
+    Returns ``None`` for ``"static"`` — the caller passes the plain
+    topology through, keeping the fault-free/static fast path (and its
+    byte-identity contract) untouched.  Deterministic: the dynamic
+    topology is a pure function of ``(spec, topology, seed, horizon)``.
+    """
+    name, values = parse_mobility_spec(spec)
+    try:
+        return MOBILITY_FAMILIES[name](topology, seed, horizon, *values)
+    except TypeError as exc:
+        raise SweepError(f"{spec!r}: bad arguments ({exc})") from exc
+    except TopologyError as exc:
+        raise SweepError(f"{spec!r}: {exc}") from exc
 
 
 def fault_plan_from_spec(

@@ -30,6 +30,7 @@ from repro.sweep.families import (
     algorithm_from_spec,
     delay_policy_from_spec,
     fault_plan_from_spec,
+    mobility_from_spec,
     rates_from_spec,
     topology_from_spec,
 )
@@ -45,9 +46,9 @@ __all__ = [
 ]
 
 #: Bump when a job kind's semantics change, to invalidate stale caches.
-#: v4: skew/convergence metrics answered from the vectorized SkewField
-#: (mean-abs summation order changed at the last-ulp level).
-CACHE_VERSION = 4
+#: v5: benign-run grows the mobility axis (params + metrics carry
+#: ``mobility``; dynamic cells also report ``rewirings``).
+CACHE_VERSION = 5
 
 #: kind name -> (callable, defining module name)
 _JOB_KINDS: Dict[str, tuple[Callable[[Mapping[str, Any]], dict], str]] = {}
@@ -130,10 +131,17 @@ def benign_run(params: Mapping[str, Any]) -> dict:
     """One scenario cell -> skew and convergence metrics.
 
     Params: ``topology``, ``algorithm``, ``rates``, ``delays``,
-    ``faults`` (spec strings; ``faults`` defaults to ``"none"``),
-    ``duration``, ``rho``, ``seed``, optional ``step`` (metric sample
-    step), ``settle_threshold``, and ``trace_digest`` (record the trace
-    and include a SHA-256 of it — the determinism-contract probe).
+    ``faults``, ``mobility`` (spec strings; ``faults`` defaults to
+    ``"none"`` and ``mobility`` to ``"static"``), ``duration``, ``rho``,
+    ``seed``, optional ``step`` (metric sample step),
+    ``settle_threshold``, and ``trace_digest`` (record the trace and
+    include a SHA-256 of it — the determinism-contract probe).
+
+    A non-static ``mobility`` family replaces the cell topology with a
+    :class:`~repro.topology.dynamic.DynamicTopology` built from it (for
+    ``waypoint`` the cell topology donates only its node count); the
+    ``"static"`` family passes the plain topology through untouched, so
+    static cells keep the byte-identity contract.
     """
     topology = topology_from_spec(params["topology"])
     algorithm = algorithm_from_spec(params["algorithm"])
@@ -142,7 +150,15 @@ def benign_run(params: Mapping[str, Any]) -> dict:
     seed = int(params["seed"])
     step = float(params.get("step", 1.0))
     faults = str(params.get("faults", "none"))
+    mobility = str(params.get("mobility", "static"))
     digest = bool(params.get("trace_digest", False))
+    dynamic = mobility_from_spec(
+        mobility, topology, seed=seed, horizon=duration
+    )
+    if dynamic is not None:
+        # The t = 0 snapshot is the network the processes are built for
+        # and the one distance-derived defaults (diameter) come from.
+        topology = dynamic.initial
     rates = rates_from_spec(
         params["rates"], topology, rho=rho, seed=seed, horizon=duration
     )
@@ -150,7 +166,7 @@ def benign_run(params: Mapping[str, Any]) -> dict:
         faults, topology, seed=seed, horizon=duration
     )
     execution = run_simulation(
-        topology,
+        dynamic if dynamic is not None else topology,
         algorithm.processes(topology),
         SimConfig(duration=duration, rho=rho, seed=seed, record_trace=digest),
         rate_schedules=rates,
@@ -182,6 +198,7 @@ def benign_run(params: Mapping[str, Any]) -> dict:
         "rates": params["rates"],
         "delays": params["delays"],
         "faults": faults,
+        "mobility": mobility,
         # The simulator backend, so sim rows line up against the live
         # runtime's ``live-run`` rows (repro.rt.jobs) in merged tables.
         "transport": "sim",
@@ -199,6 +216,12 @@ def benign_run(params: Mapping[str, Any]) -> dict:
         "steady_worst_adjacent_skew": float(tail.worst_adjacent_skew),
         "messages": messages,
         "fault_events": stats,
+        # Change-points the run actually crossed; 0 for static cells.
+        "rewirings": (
+            0
+            if execution.topology_timeline is None
+            else len(execution.topology_timeline) - 1
+        ),
     }
     if digest:
         blob = "\n".join(repr(e) for e in execution.trace.events)

@@ -1,11 +1,26 @@
 """Declarative sweep grids.
 
 A :class:`SweepSpec` names *families* of scenarios — topologies,
-algorithms, rate schedules, delay policies, fault families, seeds — as
-compact spec strings (see :mod:`repro.sweep.families`).  ``spec.jobs()``
-expands the cartesian product into independent ``benign-run`` jobs in a
-fixed, deterministic order; the runner may execute them in any order on
-any number of workers without changing a single metric.
+algorithms, rate schedules, delay policies, fault families, mobility
+families, transports, seeds — as compact spec strings (see
+:mod:`repro.sweep.families`).  ``spec.jobs()`` expands the cartesian
+product into independent jobs in a fixed, deterministic order; the
+runner may execute them in any order on any number of workers without
+changing a single metric.
+
+Usage::
+
+    >>> spec = SweepSpec(topologies=("line:5", "ring:6"),
+    ...                  algorithms=("max-based",),
+    ...                  mobilities=("static", "waypoint:0.5"),
+    ...                  seeds=(0, 1), duration=10.0)
+    >>> spec.size
+    8
+    >>> jobs = spec.jobs()
+    >>> [jobs[0].params[k] for k in ("topology", "mobility", "seed")]
+    ['line:5', 'static', 0]
+    >>> jobs == spec.jobs()   # deterministic expansion
+    True
 """
 
 from __future__ import annotations
@@ -21,6 +36,7 @@ from repro.sweep.families import (
     algorithm_from_spec,
     delay_policy_from_spec,
     fault_plan_from_spec,
+    mobility_from_spec,
     topology_from_spec,
 )
 from repro.sweep.jobs import Job
@@ -37,7 +53,15 @@ class SweepSpec:
     live backend from :data:`repro.rt.transport.TRANSPORT_NAMES`
     (``"virtual"``, ``"asyncio"``, ``"udp"`` — a ``live-run`` job).
     Live cells ignore the fault axis (the runtime has no fault plans
-    yet), so a grid mixing faults and live transports is rejected.
+    yet), so a grid mixing faults and live transports is rejected; the
+    same holds for non-static mobility families (the runtime has no
+    dynamic topologies yet).
+
+    The ``mobilities`` axis selects the dynamic-topology family per cell
+    (:data:`repro.sweep.families.MOBILITY_FAMILIES`): ``"static"`` runs
+    the cell topology as-is, ``"waypoint:speed[,interval]"`` replaces it
+    with random-waypoint mobility over the same node count, and
+    ``"blink:frac[,period]"`` blinks a fraction of its comm edges.
     """
 
     topologies: Sequence[str] = ("line:9",)
@@ -45,6 +69,7 @@ class SweepSpec:
     rate_families: Sequence[str] = ("drifted",)
     delay_policies: Sequence[str] = ("uniform",)
     fault_families: Sequence[str] = ("none",)
+    mobilities: Sequence[str] = ("static",)
     transports: Sequence[str] = ("sim",)
     seeds: Sequence[int] = (0,)
     duration: float = 30.0
@@ -56,8 +81,8 @@ class SweepSpec:
 
     def __post_init__(self) -> None:
         for axis in ("topologies", "algorithms", "rate_families",
-                     "delay_policies", "fault_families", "transports",
-                     "seeds"):
+                     "delay_policies", "fault_families", "mobilities",
+                     "transports", "seeds"):
             if not getattr(self, axis):
                 raise SweepError(f"spec axis {axis!r} must be non-empty")
         if self.duration <= 0:
@@ -77,6 +102,10 @@ class SweepSpec:
             # Probe-build against a small topology so arity and value
             # errors fail here, not inside a worker mid-sweep.
             fault_plan_from_spec(
+                spec, topology_from_spec("line:3"), seed=0, horizon=1.0
+            )
+        for spec in self.mobilities:
+            mobility_from_spec(
                 spec, topology_from_spec("line:3"), seed=0, horizon=1.0
             )
         from repro.sweep.families import RATE_FAMILIES
@@ -101,6 +130,11 @@ class SweepSpec:
                 "live transports have no fault support; keep "
                 "fault_families=('none',) when sweeping transports"
             )
+        if live and any(m != "static" for m in self.mobilities):
+            raise SweepError(
+                "live transports have no dynamic-topology support; keep "
+                "mobilities=('static',) when sweeping transports"
+            )
 
     @property
     def size(self) -> int:
@@ -110,6 +144,7 @@ class SweepSpec:
             * len(self.rate_families)
             * len(self.delay_policies)
             * len(self.fault_families)
+            * len(self.mobilities)
             * len(self.transports)
             * len(self.seeds)
         )
@@ -117,22 +152,23 @@ class SweepSpec:
     def jobs(self) -> list[Job]:
         """Expand the grid into jobs, in deterministic order.
 
-        ``"sim"`` cells become ``benign-run`` jobs with exactly the
-        params they always had — the transport axis itself never
-        perturbs sim-cell hashes, so within one ``CACHE_VERSION`` a
-        sim-only grid shares cache entries with a pre-axis spec.  Live
-        transport cells become ``live-run`` jobs handled by
-        :mod:`repro.rt.jobs`.
+        ``"sim"`` cells become ``benign-run`` jobs; the transport axis
+        itself never perturbs sim-cell params (only ``mobility`` is
+        carried, with ``"static"`` for non-mobile cells), so within one
+        ``CACHE_VERSION`` a sim-only grid shares cache entries with any
+        spec naming the same cells.  Live transport cells become
+        ``live-run`` jobs handled by :mod:`repro.rt.jobs`.
         """
         self.validate()
         jobs = []
-        for topology, algorithm, rates, delays, faults, transport, seed in (
+        for topology, algorithm, rates, delays, faults, mobility, transport, seed in (
             itertools.product(
                 self.topologies,
                 self.algorithms,
                 self.rate_families,
                 self.delay_policies,
                 self.fault_families,
+                self.mobilities,
                 self.transports,
                 self.seeds,
             )
@@ -147,6 +183,7 @@ class SweepSpec:
                             "rates": rates,
                             "delays": delays,
                             "faults": faults,
+                            "mobility": mobility,
                             "seed": int(seed),
                             "duration": self.duration,
                             "rho": self.rho,
@@ -188,8 +225,8 @@ class SweepSpec:
             raise SweepError(f"unknown SweepSpec fields: {sorted(extra)}")
         coerced = dict(payload)
         for axis in ("topologies", "algorithms", "rate_families",
-                     "delay_policies", "fault_families", "transports",
-                     "seeds"):
+                     "delay_policies", "fault_families", "mobilities",
+                     "transports", "seeds"):
             if axis in coerced:
                 coerced[axis] = tuple(coerced[axis])
         return cls(**coerced)
@@ -225,6 +262,7 @@ def full_spec(*, seeds: int = 5) -> SweepSpec:
         rate_families=("constant", "drifted", "spread", "wandering"),
         delay_policies=("half", "uniform"),
         fault_families=("none", "loss:0.15", "crash-recover:0.25,8"),
+        mobilities=("static", "waypoint:0.5"),
         seeds=tuple(range(seeds)),
         duration=60.0,
         rho=0.2,

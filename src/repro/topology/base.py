@@ -6,6 +6,24 @@ diameter ``D = max_ij d_ij``.  A :class:`Topology` packages the distance
 matrix with a *communication graph*: the model lets every pair exchange
 messages, but realistic algorithms gossip only with nearby nodes, so each
 topology also designates which pairs the algorithms actually use.
+
+Determinism contract: a ``Topology`` is a pure value — every query
+(:meth:`Topology.neighbors`, :meth:`Topology.adjacent_pairs`,
+:meth:`Topology.comm_pairs`) returns sorted, repeatable results, so two
+simulations over equal topologies observe identical neighbor orders.
+
+Usage::
+
+    >>> import numpy as np
+    >>> topo = Topology.fully_connected(
+    ...     np.array([[0.0, 1.0, 2.0], [1.0, 0.0, 1.0], [2.0, 1.0, 0.0]]),
+    ...     name="demo")
+    >>> topo.diameter, topo.min_distance
+    (2.0, 1.0)
+    >>> topo.neighbors(0)
+    [1, 2]
+    >>> topo.adjacent_pairs()
+    [(0, 1), (1, 2)]
 """
 
 from __future__ import annotations

@@ -2,7 +2,27 @@
 
 ``line`` is the Theorem 8.1 network (``d_ij = |i - j|``); the rest cover
 the paper's motivating settings: sensor grids, fusion trees, RBS broadcast
-clusters, and random geometric sensor fields.
+clusters, and random geometric sensor fields.  Time-varying networks live
+in :mod:`repro.topology.dynamic`.
+
+Every generator documents two things:
+
+* its **connectivity guarantee** — whether (and how) the communication
+  graph is kept connected;
+* its **determinism contract** — all are pure functions of their
+  arguments; the only randomness is :func:`random_geometric`'s, drawn
+  entirely from its ``seed``.
+
+Usage::
+
+    >>> line(5).diameter
+    4.0
+    >>> grid(2, 3).n
+    6
+    >>> ring(6).degree(0)
+    2
+    >>> random_geometric(8, seed=1).n == random_geometric(8, seed=1).n
+    True
 """
 
 from __future__ import annotations
@@ -35,6 +55,10 @@ def line(n: int, *, comm_radius: float = 1.0) -> Topology:
     Diameter is ``n - 1``.  Communication defaults to adjacent nodes only;
     the model still lets the adversary pick any delay in ``[0, |i - j|]``
     for any pair that chooses to talk.
+
+    Connectivity: connected for every ``comm_radius >= 1`` (the chain of
+    unit edges); smaller radii are rejected.  Determinism: pure function
+    of ``(n, comm_radius)``.
     """
     if n < 2:
         raise TopologyError("line needs at least 2 nodes")
@@ -44,7 +68,11 @@ def line(n: int, *, comm_radius: float = 1.0) -> Topology:
 
 
 def ring(n: int, *, comm_radius: float = 1.0) -> Topology:
-    """Nodes on a cycle; ``d_ij`` is hop distance around the ring."""
+    """Nodes on a cycle; ``d_ij`` is hop distance around the ring.
+
+    Connectivity: connected for every ``comm_radius >= 1`` (the cycle
+    itself).  Determinism: pure function of ``(n, comm_radius)``.
+    """
     if n < 3:
         raise TopologyError("ring needs at least 3 nodes")
     idx = np.arange(n)
@@ -54,7 +82,11 @@ def ring(n: int, *, comm_radius: float = 1.0) -> Topology:
 
 
 def grid(rows: int, cols: int, *, comm_radius: float = 1.0) -> Topology:
-    """A ``rows x cols`` grid with Manhattan hop distances."""
+    """A ``rows x cols`` grid with Manhattan hop distances.
+
+    Connectivity: connected for every ``comm_radius >= 1`` (the lattice
+    edges).  Determinism: pure function of ``(rows, cols, comm_radius)``.
+    """
     if rows * cols < 2:
         raise TopologyError("grid needs at least 2 nodes")
     coords = [(r, c) for r in range(rows) for c in range(cols)]
@@ -69,7 +101,11 @@ def grid(rows: int, cols: int, *, comm_radius: float = 1.0) -> Topology:
 
 
 def complete(n: int, *, distance: float = 1.0) -> Topology:
-    """All pairs at the same distance (Lundelius-Welch & Lynch's setting)."""
+    """All pairs at the same distance (Lundelius-Welch & Lynch's setting).
+
+    Connectivity: complete, trivially.  Determinism: pure function of
+    ``(n, distance)``.
+    """
     if n < 2:
         raise TopologyError("complete graph needs at least 2 nodes")
     d = np.full((n, n), float(distance))
@@ -78,7 +114,12 @@ def complete(n: int, *, distance: float = 1.0) -> Topology:
 
 
 def star(n_leaves: int, *, arm: float = 1.0) -> Topology:
-    """A hub (node 0) with ``n_leaves`` leaves at distance ``arm``."""
+    """A hub (node 0) with ``n_leaves`` leaves at distance ``arm``.
+
+    Connectivity: connected through the hub (communication radius equals
+    the arm, so leaves talk only to the hub).  Determinism: pure
+    function of ``(n_leaves, arm)``.
+    """
     if n_leaves < 1:
         raise TopologyError("star needs at least one leaf")
     n = n_leaves + 1
@@ -94,6 +135,9 @@ def balanced_tree(branching: int, height: int) -> Topology:
 
     The data-fusion communication tree of the introduction: leaves send to
     parents, parents fuse and forward.
+
+    Connectivity: connected (the tree edges).  Determinism: pure
+    function of ``(branching, height)``.
     """
     if branching < 2 or height < 1:
         raise TopologyError("tree needs branching >= 2 and height >= 1")
@@ -121,6 +165,13 @@ def random_geometric(
     ``comm_radius_factor`` of the minimum.  The introduction's footnote 2
     motivates exactly this correspondence between Euclidean distance and
     delay uncertainty.
+
+    Connectivity: the radius is widened to every node's nearest neighbor
+    so no node is isolated; the graph as a whole may still split into
+    several components for sparse fields (use
+    :func:`repro.topology.dynamic.components` to inspect).
+    Determinism: all randomness comes from ``seed``; identical arguments
+    give identical fields.
     """
     if n < 2:
         raise TopologyError("need at least 2 nodes")
@@ -156,6 +207,9 @@ def broadcast_cluster(n: int, *, uncertainty: float = 0.01) -> Topology:
     Deliberately breaks the ``min d_ij = 1`` normalization — the whole
     point of RBS (Elson et al.) is uncertainty close to zero.  The paper's
     bound still applies but is small because the diameter is small.
+
+    Connectivity: complete, trivially.  Determinism: pure function of
+    ``(n, uncertainty)``.
     """
     if n < 2:
         raise TopologyError("cluster needs at least 2 nodes")
@@ -168,7 +222,11 @@ def broadcast_cluster(n: int, *, uncertainty: float = 0.01) -> Topology:
 
 
 def two_nodes(distance: float) -> Topology:
-    """The folklore lower bound's network: two nodes at distance ``d >= 1``."""
+    """The folklore lower bound's network: two nodes at distance ``d >= 1``.
+
+    Connectivity: the single pair communicates.  Determinism: pure
+    function of ``distance``.
+    """
     if distance < 1.0:
         raise TopologyError("paper normalization requires d >= 1")
     d = np.array([[0.0, distance], [distance, 0.0]])

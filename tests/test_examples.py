@@ -84,6 +84,13 @@ def test_skew_timeline(tmp_path):
         csv.unlink()
 
 
+def test_mobile_field():
+    out = run_example("mobile_field.py")
+    assert "rewirings" in out
+    assert "adj skew" in out
+    assert "time-varying" in out
+
+
 @pytest.mark.slow
 def test_sensor_field():
     out = run_example("sensor_field.py")

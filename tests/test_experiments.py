@@ -15,9 +15,9 @@ from repro.experiments.cli import main as cli_main
 class TestRegistry:
     def test_all_experiments_present(self):
         # E01-E11 reproduce the paper; E12 (Section 9 candidates), E13
-        # (fault robustness), E14 (sim-vs-live), and E15 (gradient
-        # profiles at scale) are the extensions.
-        assert sorted(REGISTRY) == [f"E{k:02d}" for k in range(1, 16)]
+        # (fault robustness), E14 (sim-vs-live), E15 (gradient profiles
+        # at scale), and E16 (mobility) are the extensions.
+        assert sorted(REGISTRY) == [f"E{k:02d}" for k in range(1, 17)]
 
     def test_unknown_id_raises(self):
         with pytest.raises(ExperimentError):

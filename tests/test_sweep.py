@@ -23,6 +23,7 @@ from repro.sweep import (
     execute_job,
     fault_plan_from_spec,
     job_hash,
+    mobility_from_spec,
     quick_spec,
     run_jobs,
     summary_table,
@@ -31,6 +32,7 @@ from repro.sweep import (
     topology_from_spec,
     write_json,
 )
+from repro.topology.dynamic import DynamicTopology
 from repro.sweep.aggregate import CELL_KEYS
 from repro.sweep.spec import full_spec
 
@@ -81,6 +83,50 @@ class TestFamilies:
         assert all(c.recover_at is not None for c in recover.crashes)
         churn = fault_plan_from_spec("churn:0.25,4", topo, seed=0, horizon=30.0)
         assert churn.links and all(f.down for f in churn.links)
+
+    def test_mobility_specs(self):
+        topo = topology_from_spec("line:6")
+        assert mobility_from_spec("static", topo, seed=0, horizon=20.0) is None
+        moving = mobility_from_spec("waypoint:0.5", topo, seed=0, horizon=20.0)
+        assert isinstance(moving, DynamicTopology)
+        assert moving.n == topo.n and len(moving) == 4
+        blink = mobility_from_spec("blink:0.3,8", topo, seed=0, horizon=20.0)
+        assert isinstance(blink, DynamicTopology)
+        assert blink.change_times  # edges actually blink
+        # Blinking rewires the comm graph, never the distances.
+        assert all(
+            (t.distances == topo.distances).all() for _, t in blink.snapshots
+        )
+
+    def test_mobility_deterministic_per_seed(self):
+        topo = topology_from_spec("line:6")
+        build = lambda s: mobility_from_spec(
+            "waypoint:0.5", topo, seed=s, horizon=20.0
+        )
+        assert build(3).at(10.0).comm_edges == build(3).at(10.0).comm_edges
+        assert (build(3).at(10.0).distances != build(4).at(10.0).distances).any()
+
+    @pytest.mark.parametrize(
+        "spec",
+        ["teleport", "waypoint:fast", "waypoint:-1", "waypoint:0.5,0",
+         "blink:1.5", "blink:0.3,0", "blink:0.3,8,9,10"],
+    )
+    def test_bad_mobility_specs_raise(self, spec):
+        topo = topology_from_spec("line:5")
+        with pytest.raises(SweepError):
+            mobility_from_spec(spec, topo, seed=0, horizon=20.0)
+
+    @pytest.mark.parametrize("spec", ["teleport", "waypoint:fast", "blink:1.5"])
+    def test_bad_mobility_specs_fail_at_spec_validation(self, spec):
+        with pytest.raises(SweepError):
+            SweepSpec(mobilities=(spec,)).jobs()
+
+    def test_live_transports_reject_mobility(self):
+        spec = SweepSpec(
+            transports=("sim", "virtual"), mobilities=("static", "waypoint:0.5")
+        )
+        with pytest.raises(SweepError):
+            spec.jobs()
 
     def test_fault_plans_deterministic_per_seed(self):
         topo = topology_from_spec("ring:8")
@@ -262,6 +308,74 @@ class TestFaultAxisDeterminism:
         )
 
 
+class TestMobilityAxisDeterminism:
+    """The mobility axis keeps the engine's determinism contract."""
+
+    MOBILE = SweepSpec(
+        name="mobile",
+        topologies=("line:5",),
+        algorithms=("max-based", "averaging"),
+        rate_families=("drifted",),
+        delay_policies=("uniform",),
+        mobilities=("static", "waypoint:0.5,4", "blink:0.3,6"),
+        seeds=(0, 1),
+        duration=12.0,
+        rho=0.2,
+    )
+
+    @pytest.fixture(scope="class")
+    def digest_jobs(self):
+        # trace_digest folds the *entire* trace (including topology-swap
+        # events) into the metrics, so worker-count comparisons check
+        # trace identity, not just skew.
+        return [
+            Job(kind=j.kind, params={**j.params, "trace_digest": True})
+            for j in self.MOBILE.jobs()
+        ]
+
+    @pytest.fixture(scope="class")
+    def serial_outcomes(self, digest_jobs):
+        return run_jobs(digest_jobs, workers=1)
+
+    @pytest.mark.parametrize("workers", [2, 4])
+    def test_identical_traces_at_any_worker_count(
+        self, digest_jobs, serial_outcomes, workers
+    ):
+        parallel = run_jobs(digest_jobs, workers=workers)
+        assert metrics_of(parallel) == metrics_of(serial_outcomes)
+        assert all("trace_sha256" in o.metrics for o in parallel)
+
+    def test_static_mobility_matches_plain_benign_run(self):
+        base_params = {
+            "topology": "line:5",
+            "algorithm": "max-based",
+            "rates": "drifted",
+            "delays": "uniform",
+            "seed": 0,
+            "duration": 10.0,
+            "rho": 0.2,
+            "trace_digest": True,
+        }
+        static = execute_job(
+            Job(kind="benign-run", params={**base_params, "mobility": "static"})
+        )
+        # The same cell without the mobility key at all (pre-axis shape).
+        legacy = execute_job(Job(kind="benign-run", params=base_params))
+        assert static.metrics["trace_sha256"] == legacy.metrics["trace_sha256"]
+        assert static.metrics["rewirings"] == 0
+
+    def test_mobile_cells_actually_rewire(self, serial_outcomes):
+        moving = [
+            o for o in serial_outcomes if o.metrics["mobility"] != "static"
+        ]
+        assert moving
+        assert all(o.metrics["rewirings"] > 0 for o in moving)
+        static = [
+            o for o in serial_outcomes if o.metrics["mobility"] == "static"
+        ]
+        assert static and all(o.metrics["rewirings"] == 0 for o in static)
+
+
 class TestCache:
     def test_second_run_is_all_hits_with_identical_metrics(self, tmp_path):
         cache = ResultCache(tmp_path / "c")
@@ -364,6 +478,29 @@ class TestExperimentIntegration:
             if row[2] == "none":
                 assert float(row[6]) == pytest.approx(1.0)
 
+    @pytest.mark.parametrize("workers", [2, 4])
+    def test_e16_identical_across_worker_counts(self, workers):
+        from repro.experiments import run_experiment
+
+        serial = run_experiment("E16", workers=1)
+        parallel = run_experiment("E16", workers=workers)
+        assert serial.tables[0].rows == parallel.tables[0].rows
+        assert serial.tables[1].rows == parallel.tables[1].rows
+        assert serial.data["curves"] == parallel.data["curves"]
+
+    def test_e16_reports_every_ladder_rung_and_reconvergence(self):
+        from repro.experiments import run_experiment
+
+        result = run_experiment("E16", workers=2)
+        mobilities = {row[2] for row in result.tables[0].rows}
+        assert "static" in mobilities and len(mobilities) >= 3
+        # Stillness anchors are exactly 1x themselves.
+        for row in result.tables[0].rows:
+            if row[2] == "waypoint:0,4":
+                assert float(row[6]) == pytest.approx(1.0)
+        # Part 2 has one verdict per algorithm.
+        assert {row[5] for row in result.tables[1].rows} <= {"yes", "NO"}
+
     def test_unported_experiment_ignores_workers(self):
         from repro.experiments import run_experiment
 
@@ -415,6 +552,34 @@ class TestSweepCLI:
         assert code == 0
         assert "3 fault families" in out
         assert "crash-recover:0.3,4" in out
+
+    def test_sweep_verb_accepts_mobility_axis(self, capsys):
+        from repro.experiments.cli import main as cli_main
+
+        code = cli_main(
+            [
+                "sweep",
+                "--topologies", "line:5",
+                "--algorithms", "max-based",
+                "--rates", "drifted",
+                # Commas inside a family's numeric args must survive.
+                "--mobility", "static,waypoint:0.5,4,blink:0.3,6",
+                "--seeds", "1",
+                "--duration", "8",
+                "--workers", "2",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "3 mobility families" in out
+        assert "waypoint:0.5,4" in out and "blink:0.3,6" in out
+
+    def test_sweep_verb_bad_mobility_family_exits_nonzero(self, capsys):
+        from repro.experiments.cli import main as cli_main
+
+        code = cli_main(["sweep", "--mobility", "teleport:9"])
+        assert code == 2
+        assert "unknown mobility family" in capsys.readouterr().err
 
     def test_sweep_verb_bad_spec_exits_nonzero(self, capsys):
         from repro.experiments.cli import main as cli_main

@@ -1,0 +1,364 @@
+"""Dynamic-topology & mobility tests (repro.topology.dynamic).
+
+The load-bearing guarantees:
+
+* a single-snapshot ``DynamicTopology`` is *free*: simulator traces
+  byte-identical to the same run on the plain static topology
+  (regression + hypothesis, mirroring the empty ``FaultPlan`` contract);
+* generators are deterministic and deliver snapshots in strictly
+  increasing time order with connected-or-declared-partitioned
+  components (hypothesis);
+* the simulator swaps distance/adjacency tables atomically at
+  change-points, records the topology timeline on the execution, and
+  messages in flight keep their send-time delays;
+* distance-dependent measurements — the adjacent-skew series, the
+  gradient profile, and ``check_gradient`` — evaluate against the
+  network live at each sample time.
+"""
+
+import doctest
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.algorithms import AveragingAlgorithm, MaxBasedAlgorithm, NullAlgorithm
+from repro.analysis.field import SkewField
+from repro.errors import TopologyError
+from repro.gcs.properties import GradientBound, check_gradient
+from repro.sim.messages import UniformRandomDelay
+from repro.sim.rates import PiecewiseConstantRate
+from repro.sim.simulator import SimConfig, run_simulation
+from repro.sim.trace import TOPOLOGY
+from repro.topology.dynamic import (
+    DynamicTopology,
+    components,
+    link_schedule,
+    random_waypoint,
+    snapshot_sequence,
+)
+from repro.topology.generators import line, ring
+
+
+def run(topology, alg, *, duration=20.0, seed=0, rho=0.2, processes_for=None):
+    base = processes_for
+    if base is None:
+        base = topology.initial if isinstance(topology, DynamicTopology) else topology
+    return run_simulation(
+        topology,
+        alg.processes(base),
+        SimConfig(duration=duration, rho=rho, seed=seed),
+        delay_policy=UniformRandomDelay(),
+    )
+
+
+class TestDynamicTopology:
+    def test_validation(self):
+        with pytest.raises(TopologyError):
+            DynamicTopology(())
+        with pytest.raises(TopologyError):
+            DynamicTopology([(1.0, line(3))])  # must start at 0
+        with pytest.raises(TopologyError):
+            DynamicTopology([(0.0, line(3)), (5.0, line(3)), (5.0, line(3))])
+        with pytest.raises(TopologyError):
+            DynamicTopology([(0.0, line(3)), (5.0, line(4))])  # node set fixed
+
+    def test_at_and_segments(self):
+        a, b = line(4), line(4, comm_radius=2.0)
+        dyn = snapshot_sequence((0.0, a), (10.0, b))
+        assert dyn.at(0.0) is a and dyn.at(9.999) is a
+        assert dyn.at(10.0) is b and dyn.at(99.0) is b
+        assert dyn.initial is a and dyn.final is b
+        assert dyn.change_times == (10.0,)
+        assert not dyn.is_static()
+        assert dyn.segments(25.0) == [(0.0, 10.0, a), (10.0, 25.0, b)]
+        assert dyn.segments(5.0) == [(0.0, 5.0, a)]
+
+    def test_static_wrapper(self):
+        dyn = DynamicTopology.static(line(5))
+        assert dyn.is_static() and dyn.change_times == ()
+        assert dyn.at(3.0) is dyn.initial
+
+    def test_components(self):
+        assert components(line(4)) == ((0, 1, 2, 3),)
+        split = link_schedule(line(4), {(1, 2): [(0.0, 5.0)]})
+        assert components(split.initial) == ((0, 1), (2, 3))
+
+    def test_doctests(self):
+        import repro.topology.dynamic as mod
+
+        failures, _ = doctest.testmod(mod).failed, None
+        assert failures == 0
+
+
+class TestGenerators:
+    def test_waypoint_deterministic(self):
+        a = random_waypoint(8, speed=0.7, duration=20.0, interval=4.0, seed=5)
+        b = random_waypoint(8, speed=0.7, duration=20.0, interval=4.0, seed=5)
+        assert [t for t, _ in a.snapshots] == [t for t, _ in b.snapshots]
+        for (_, ta), (_, tb) in zip(a.snapshots, b.snapshots):
+            assert (ta.distances == tb.distances).all()
+            assert ta.comm_edges == tb.comm_edges
+
+    def test_waypoint_seeds_differ(self):
+        a = random_waypoint(8, speed=0.7, duration=20.0, interval=4.0, seed=5)
+        b = random_waypoint(8, speed=0.7, duration=20.0, interval=4.0, seed=6)
+        assert any(
+            (ta.distances != tb.distances).any()
+            for (_, ta), (_, tb) in zip(a.snapshots, b.snapshots)
+        )
+
+    def test_waypoint_distances_respect_normalization(self):
+        dyn = random_waypoint(10, speed=1.5, duration=16.0, interval=4.0, seed=2)
+        for _, topo in dyn.snapshots:
+            assert topo.min_distance >= 1.0
+
+    def test_waypoint_zero_speed_is_frozen(self):
+        dyn = random_waypoint(6, speed=0.0, duration=12.0, interval=4.0, seed=1)
+        first = dyn.initial
+        for _, topo in dyn.snapshots:
+            assert (topo.distances == first.distances).all()
+            assert topo.comm_edges == first.comm_edges
+
+    def test_waypoint_rejects_bad_args(self):
+        for kwargs in (
+            dict(n=1), dict(duration=0.0), dict(interval=0.0),
+            dict(speed=-1.0), dict(comm_radius=0.0), dict(area=-2.0),
+        ):
+            full = dict(n=5, speed=0.5, duration=10.0, interval=5.0)
+            full.update(kwargs)
+            with pytest.raises(TopologyError):
+                random_waypoint(
+                    full.pop("n"), **full
+                )
+
+    def test_link_schedule_windows(self):
+        dyn = link_schedule(line(4), {(0, 1): [(2.0, 4.0)], (2, 3): [(3.0, 6.0)]})
+        assert dyn.change_times == (2.0, 3.0, 4.0, 6.0)
+        assert (0, 1) in dyn.at(1.0).comm_edges
+        assert (0, 1) not in dyn.at(2.5).comm_edges
+        assert (2, 3) not in dyn.at(3.5).comm_edges and (0, 1) not in dyn.at(3.5).comm_edges
+        assert (0, 1) in dyn.at(4.5).comm_edges and (2, 3) not in dyn.at(4.5).comm_edges
+        assert dyn.at(7.0).comm_edges == dyn.initial.comm_edges
+        # Distances are physical and never change.
+        for _, topo in dyn.snapshots:
+            assert (topo.distances == dyn.initial.distances).all()
+
+    def test_link_schedule_merges_noop_boundaries(self):
+        # Overlapping windows union; boundaries that change nothing are
+        # not emitted as snapshots.
+        dyn = link_schedule(line(3), {(0, 1): [(1.0, 3.0), (2.0, 5.0)]})
+        assert dyn.change_times == (1.0, 5.0)
+
+    def test_link_schedule_rejects_unknown_edge_and_bad_window(self):
+        with pytest.raises(TopologyError):
+            link_schedule(line(3), {(0, 2): [(1.0, 2.0)]})
+        with pytest.raises(TopologyError):
+            link_schedule(line(3), {(0, 1): [(3.0, 2.0)]})
+
+
+class TestHypothesisWaypoint:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        n=st.integers(min_value=2, max_value=12),
+        speed=st.floats(min_value=0.0, max_value=3.0),
+        interval=st.floats(min_value=0.5, max_value=8.0),
+        duration=st.floats(min_value=1.0, max_value=40.0),
+        seed=st.integers(min_value=0, max_value=2**16),
+        connect=st.booleans(),
+    )
+    def test_snapshots_ordered_and_connected_or_partitioned(
+        self, n, speed, interval, duration, seed, connect
+    ):
+        dyn = random_waypoint(
+            n, speed=speed, duration=duration, interval=interval,
+            seed=seed, connect=connect,
+        )
+        times = [t for t, _ in dyn.snapshots]
+        # Strictly increasing delivery order, starting at 0.
+        assert times[0] == 0.0
+        assert all(t1 > t0 for t0, t1 in zip(times, times[1:]))
+        assert times[-1] < duration
+        for _, topo in dyn.snapshots:
+            groups = components(topo)
+            if connect:
+                # Connectivity guarantee: bridged into one component.
+                assert len(groups) == 1
+            # Declared-partitioned: the components exactly partition the
+            # node set (every node in exactly one group).
+            assert sorted(node for g in groups for node in g) == list(topo.nodes)
+
+
+class TestByteIdentityContract:
+    def test_static_wrapper_reproduces_plain_run_exactly(self):
+        topo = line(5)
+        alg = MaxBasedAlgorithm()
+        bare = run(topo, alg)
+        wrapped = run(DynamicTopology.static(topo), alg, processes_for=topo)
+        assert bare.trace.events == wrapped.trace.events
+        assert bare.messages == wrapped.messages
+        assert wrapped.topology_timeline is None
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        n=st.integers(min_value=3, max_value=7),
+        shape=st.sampled_from(["line", "ring"]),
+        seed=st.integers(min_value=0, max_value=2**16),
+        rho=st.sampled_from([0.1, 0.3, 0.5]),
+    )
+    def test_hypothesis_static_wrapper_is_free(self, n, shape, seed, rho):
+        topo = line(n) if shape == "line" else ring(max(n, 3))
+        alg = AveragingAlgorithm()
+        bare = run(topo, alg, duration=10.0, seed=seed, rho=rho)
+        wrapped = run(
+            DynamicTopology.static(topo), alg, duration=10.0, seed=seed,
+            rho=rho, processes_for=topo,
+        )
+        assert bare.trace.events == wrapped.trace.events
+        assert bare.messages == wrapped.messages
+
+    def test_same_dynamic_run_reproduces_itself(self):
+        dyn = random_waypoint(7, speed=0.6, duration=18.0, interval=3.0, seed=4)
+        runs = [run(dyn, MaxBasedAlgorithm(), duration=18.0) for _ in range(2)]
+        assert runs[0].trace.events == runs[1].trace.events
+        assert runs[0].messages == runs[1].messages
+
+
+class TestSimulatorRewiring:
+    def two_phase(self, alg=None, duration=20.0):
+        dyn = snapshot_sequence(
+            (0.0, line(5)), (10.0, line(5, comm_radius=2.0))
+        )
+        return dyn, run(dyn, alg or MaxBasedAlgorithm(), duration=duration)
+
+    def test_timeline_recorded(self):
+        dyn, exe = self.two_phase()
+        assert exe.is_dynamic
+        assert [t for t, _ in exe.topology_timeline] == [0.0, 10.0]
+        assert exe.topology_at(5.0) is dyn.initial
+        assert exe.topology_at(10.0) is dyn.final
+        assert exe.topology is dyn.initial
+
+    def test_trace_records_topology_event(self):
+        _, exe = self.two_phase()
+        swaps = exe.trace.of_kind(TOPOLOGY)
+        assert [e.real_time for e in swaps] == [10.0]
+        # Adversary-side: no node's local projection sees it.
+        assert all(e.node == -1 for e in swaps)
+        for node in exe.topology.nodes:
+            assert all(k != TOPOLOGY for k, _, _ in exe.trace.local_observations(node))
+
+    def test_neighbors_swap_at_change_point(self):
+        # Under comm_radius 2 node 0 gossips with node 2; sends 0 -> 2
+        # must only exist after the swap at t = 10.
+        _, exe = self.two_phase()
+        long_sends = [
+            m for m in exe.messages
+            if abs(m.sender - m.receiver) == 2
+        ]
+        assert long_sends
+        assert all(m.send_time >= 10.0 for m in long_sends)
+
+    def test_delay_bounds_checked_against_send_time_topology(self):
+        _, exe = self.two_phase()
+        exe.check_delay_bounds()  # must not raise
+
+    def test_changes_beyond_duration_never_fire(self):
+        dyn = snapshot_sequence((0.0, line(4)), (50.0, line(4, comm_radius=2.0)))
+        exe = run(dyn, MaxBasedAlgorithm(), duration=20.0)
+        assert exe.topology_timeline == ((0.0, dyn.initial),)
+        assert not exe.trace.of_kind(TOPOLOGY)
+
+
+class TestTimeVaryingMeasurement:
+    def spread_null_execution(self, dyn, duration, *, rate_gap=0.2):
+        """Null algorithm + spread constant rates: skew grows linearly,
+        so distance-dependent measurements are exactly predictable."""
+        topo = dyn.initial if isinstance(dyn, DynamicTopology) else dyn
+        rates = {
+            node: PiecewiseConstantRate.constant(0.8 + rate_gap * node)
+            for node in topo.nodes
+        }
+        return run_simulation(
+            dyn,
+            NullAlgorithm().processes(topo),
+            SimConfig(duration=duration, rho=0.5, seed=0),
+            rate_schedules=rates,
+        )
+
+    def test_adjacent_series_follows_live_pairs(self):
+        # Phase 1: plain line (adjacent pairs at distance 1).  Phase 2:
+        # stretch the line by 3x (adjacent distance 3) — same comm
+        # edges, scaled distances.
+        base = line(4)
+        stretched_d = base.distances * 3.0
+        from repro.topology.base import Topology
+
+        stretched = Topology(stretched_d, base.comm_edges, name="stretched")
+        dyn = snapshot_sequence((0.0, base), (5.0, stretched))
+        exe = self.spread_null_execution(dyn, 10.0)
+        field = SkewField(exe, exe.sample_times(1.0))
+        segments = field.topology_segments()
+        assert [cols.size for _, cols in segments] == [5, 6]
+        # Null + spread rates: adjacent skew = rate_gap * t for both
+        # phases (adjacent pairs are the same node pairs here).
+        series = field.max_adjacent_series()
+        expected = 0.2 * field.times
+        assert np.allclose(series, expected, atol=1e-9)
+
+    def test_gradient_profile_attributes_skew_to_live_distance(self):
+        base = line(3)
+        from repro.topology.base import Topology
+
+        stretched = Topology(base.distances * 4.0, base.comm_edges, name="s")
+        dyn = snapshot_sequence((0.0, base), (6.0, stretched))
+        exe = self.spread_null_execution(dyn, 10.0)
+        profile = SkewField(exe, exe.sample_times(1.0)).gradient_profile()
+        # Distances 1 and 2 live on [0, 6); 4 and 8 on [6, 10].  Worst
+        # pair skew at distance 2 is 0.4 * 5 (end of phase 1); at
+        # distance 8 it is 0.4 * 10 (end of run).
+        assert set(profile) == {1.0, 2.0, 4.0, 8.0}
+        assert profile[2.0] == pytest.approx(0.4 * 5.0)
+        assert profile[8.0] == pytest.approx(0.4 * 10.0)
+
+    def test_check_gradient_uses_time_varying_distances(self):
+        base = line(3)
+        from repro.topology.base import Topology
+
+        stretched = Topology(base.distances * 4.0, base.comm_edges, name="s")
+        dyn = snapshot_sequence((0.0, base), (6.0, stretched))
+        exe = self.spread_null_execution(dyn, 10.0)
+        # f(d) = d: pair (0, 2) violates once skew 0.4t > d(t), i.e.
+        # t > 5 under distance 2 (phase 1) but only t > 20 under
+        # distance 8 (phase 2) — so the *only* violation instant within
+        # phase 1 is t in {5.something} sampled at 6?  Phase 1 samples
+        # are t <= 5; 0.4 * 5 = 2.0 is not > 2 + 1e-9, and every phase-2
+        # sample satisfies 0.4t <= 4 < 8.  No violations at all.
+        assert check_gradient(exe, GradientBound.linear(1.0)) == []
+        # Against the *static* phase-1 distances a violation would be
+        # claimed at t >= 7 (0.4 * 7 = 2.8 > 2): prove the static
+        # reading differs, so the time-varying path is load-bearing.
+        static_exe = self.spread_null_execution(base, 10.0)
+        assert check_gradient(static_exe, GradientBound.linear(1.0)) != []
+        # Tighten f below phase-2's allowance and the violation is
+        # witnessed with phase-2's distance and limit in force.
+        hits = check_gradient(exe, GradientBound.linear(0.4))
+        assert hits
+        late = [v for v in hits if v.time >= 6.0 and {v.i, v.j} == {0, 2}]
+        assert late and all(v.distance == 8.0 and v.bound == pytest.approx(3.2)
+                            for v in late)
+
+    def test_execution_max_adjacent_skew_uses_live_pairs(self):
+        base = line(3)
+        from repro.topology.base import Topology
+
+        # Phase 2 makes the far pair (0, 2) the *adjacent* one by
+        # shrinking its distance below the (0,1)/(1,2) edges.
+        d = np.array([[0.0, 2.0, 1.0], [2.0, 0.0, 2.0], [1.0, 2.0, 0.0]])
+        phase2 = Topology(d, base.comm_edges, name="swapped")
+        dyn = snapshot_sequence((0.0, base), (5.0, phase2))
+        exe = self.spread_null_execution(dyn, 10.0)
+        # Before: adjacent pairs (0,1), (1,2) -> gap 0.2 * t.  After:
+        # adjacent pair (0,2) -> gap 0.4 * t.
+        assert exe.max_adjacent_skew(4.0) == pytest.approx(0.2 * 4.0)
+        assert exe.max_adjacent_skew(8.0) == pytest.approx(0.4 * 8.0)
