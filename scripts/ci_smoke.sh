@@ -2,10 +2,12 @@
 # CI smoke: tier-1 tests, then one quick-scale parallel sweep end-to-end,
 # then the fault/robustness suite (E13 + the `faults`-marked tests),
 # then the live runtime (a <=10s virtual-time demo, a UDP E14 quick cell,
-# and the E14 sim-vs-live table), then the scale experiment E15, the
-# mobility experiment E16 (dynamic topologies end-to-end), the docs step
-# (module doctests + markdown link check), and the engine/analysis
-# benchmarks (bench_analysis records BENCH_analysis.json).
+# and the E14 sim-vs-live table), then the batched-vs-scalar engine
+# differential check, the scale experiment E15, the mobility experiment
+# E16 (dynamic topologies end-to-end), the docs step (module doctests +
+# markdown link check), and the engine/analysis benchmarks
+# (bench_analysis records BENCH_analysis.json, bench_sim BENCH_sim.json
+# with its >= 5x at-scale speedup floor).
 #
 # Usage: bash scripts/ci_smoke.sh
 # Documented in README.md ("Tests and benchmarks").
@@ -67,6 +69,14 @@ if grep -q " NO " "$ARTIFACTS/e14.txt"; then
 fi
 
 echo
+echo "== simulation engine differential check (scalar vs batched) =="
+# The quick cut of the byte-identity contract: the engine-marked
+# differential suite (full algorithm x topology x fault x mobility grid
+# plus hypothesis scenarios; also reruns the fault-parity and replay
+# round-trip guards carrying the marker).
+python -m pytest -q -m engine tests/
+
+echo
 echo "== gradient profiles at scale (E15, vectorized analysis core) =="
 # Quick scale reaches D = 128 and must fit the 60s CI budget.
 timeout 60 python -m repro.experiments E15 --scale quick > "$ARTIFACTS/e15.txt"
@@ -120,6 +130,12 @@ echo "== analysis core benchmark (scalar vs batched, >= 10x) =="
 python benchmarks/bench_analysis.py
 test -s BENCH_analysis.json \
     || { echo "error: bench_analysis wrote no BENCH_analysis.json" >&2; exit 1; }
+
+echo
+echo "== simulation engine benchmark (scalar vs batched, >= 5x at-scale) =="
+python benchmarks/bench_sim.py
+test -s BENCH_sim.json \
+    || { echo "error: bench_sim wrote no BENCH_sim.json" >&2; exit 1; }
 
 echo
 echo "== sweep engine benchmark =="

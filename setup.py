@@ -6,13 +6,14 @@ README = Path(__file__).parent / "README.md"
 
 setup(
     name="repro-gradient-clock-sync",
-    version="1.2.0",
+    version="1.3.0",
     description=(
         "Executable reproduction of 'Gradient Clock Synchronization' "
         "(Fan & Lynch, PODC 2004): simulator, lower-bound adversaries, "
         "experiments E01-E16, a parallel scenario-sweep engine, a "
-        "dynamic-topology & mobility subsystem, and a live runtime "
-        "(virtual-time / asyncio / UDP transports)"
+        "dynamic-topology & mobility subsystem, a live runtime "
+        "(virtual-time / asyncio / UDP transports), and a batched "
+        "simulation engine byte-identical to the scalar event loop"
     ),
     long_description=README.read_text() if README.exists() else "",
     long_description_content_type="text/markdown",

@@ -6,12 +6,16 @@ reach while every measurement cost ``O(T n^2)`` scalar clock lookups:
 the experiments stopped near ``D = 128``.  With the vectorized
 :class:`~repro.analysis.field.SkewField` the full ``f(d)`` of a
 multi-hundred-diameter network is one trajectory-matrix build plus array
-arithmetic, so this experiment sweeps line / grid / random-geometric
-topologies up to ``D = 512`` and reports both the profiles and the
-measurement cost itself (field build + query seconds per cell) — the
-measurement path is now a benchmarkable artifact
-(``benchmarks/bench_analysis.py`` pins its speedup over the scalar
-path).
+arithmetic — which moved the bottleneck to the simulation itself.  The
+batched engine (``repro.sim.engine``, byte-identical to the scalar loop
+by the differential harness in ``tests/test_engine_equivalence.py``)
+moves it back: this experiment runs each cell under the batched engine
+with tracing off (the at-scale configuration) and sweeps line / grid /
+random-geometric topologies past ``D = 512``, reporting both the
+profiles and the cost split (sim seconds vs. field build + query
+seconds per cell).  Both halves are benchmarkable artifacts
+(``benchmarks/bench_analysis.py`` pins the analysis speedup,
+``benchmarks/bench_sim.py`` the engine speedup).
 """
 
 from __future__ import annotations
@@ -46,14 +50,22 @@ def _build_topology(family: str, diameter: int, *, seed: int):
     raise ValueError(f"unknown topology family {family!r}")
 
 
-def run(scale: Scale = "quick", *, rho: float = 0.2, seed: int = 0) -> ExperimentResult:
+def run(
+    scale: Scale = "quick",
+    *,
+    rho: float = 0.2,
+    seed: int = 0,
+    engine: str = "batched",
+) -> ExperimentResult:
     """Profile the gradient candidate across diameters in the hundreds.
 
     Expected shape: per cell, the empirical ``f(d)`` rises with distance
-    and the batched analysis cost stays far below the simulation cost —
-    diameters that used to be measurement-bound are now simulation-bound.
+    and both measurement and simulation cost stay tractable out to
+    ``D = 768``.  ``engine`` defaults to the batched engine; passing
+    ``"scalar"`` reproduces the pre-engine cost column (the results are
+    byte-identical either way, only the ``sim s`` column moves).
     """
-    diameters = pick(scale, [32, 64, 128], [32, 64, 128, 256, 512])
+    diameters = pick(scale, [32, 64, 128], [32, 64, 128, 256, 512, 768])
     duration = pick(scale, 20.0, 30.0)
     algorithm = BoundedCatchUpAlgorithm()
     table = Table(
@@ -90,7 +102,15 @@ def run(scale: Scale = "quick", *, rho: float = 0.2, seed: int = 0) -> Experimen
             execution = run_simulation(
                 topology,
                 algorithm.processes(topology),
-                SimConfig(duration=duration, rho=rho, seed=seed),
+                SimConfig(
+                    duration=duration,
+                    rho=rho,
+                    seed=seed,
+                    # At-scale configuration: no trace, vectorized engine.
+                    # Every measurement below reads clocks, not the trace.
+                    record_trace=False,
+                    engine=engine,
+                ),
                 rate_schedules=drifted_rates(topology, rho=rho, seed=seed),
                 delay_policy=UniformRandomDelay(),
             )
@@ -145,6 +165,15 @@ def run(scale: Scale = "quick", *, rho: float = 0.2, seed: int = 0) -> Experimen
             "Every profile is answered from one n x T trajectory matrix "
             "(SkewField); the scalar value_at path is O(T n^2) bisects "
             "and capped earlier experiments near D = 128.",
+            f"Simulation ran on the {engine!r} engine with tracing off; "
+            "the batched engine is byte-identical to the scalar loop "
+            "(tests/test_engine_equivalence.py) and lifted the sim-side "
+            "cap near D = 512.",
         ],
-        data={"profiles": profiles, "timings": timings, "diameters": diameters},
+        data={
+            "profiles": profiles,
+            "timings": timings,
+            "diameters": diameters,
+            "engine": engine,
+        },
     )

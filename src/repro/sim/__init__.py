@@ -6,6 +6,7 @@ messages whose delays the adversary picks from ``[0, d_ij]``.
 """
 
 from repro.sim.clock import HardwareClock, LogicalClock
+from repro.sim.events import BatchEventQueue, EventQueue
 from repro.sim.execution import Execution
 from repro.sim.faults import (
     CrashWindow,
@@ -26,11 +27,13 @@ from repro.sim.messages import (
 from repro.sim.node import NodeAPI, Process
 from repro.sim.rates import PiecewiseConstantRate, constant_schedules
 from repro.sim.simulator import SimConfig, Simulator, run_simulation
-from repro.sim.trace import ExecutionTrace, TraceEvent
+from repro.sim.trace import ColumnarTrace, ExecutionTrace, TraceEvent
 
 __all__ = [
     "HardwareClock",
     "LogicalClock",
+    "EventQueue",
+    "BatchEventQueue",
     "Execution",
     "FaultPlan",
     "CrashWindow",
@@ -52,5 +55,6 @@ __all__ = [
     "Simulator",
     "run_simulation",
     "ExecutionTrace",
+    "ColumnarTrace",
     "TraceEvent",
 ]

@@ -15,6 +15,8 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Any, Optional
 
+import numpy as np
+
 from repro.errors import SimulationError
 
 __all__ = [
@@ -24,6 +26,7 @@ __all__ = [
     "RecoverNode",
     "TopologyChange",
     "EventQueue",
+    "BatchEventQueue",
 ]
 
 
@@ -119,3 +122,179 @@ class EventQueue:
 
     def __bool__(self) -> bool:
         return bool(self._heap)
+
+
+class BatchEventQueue:
+    """The vectorized event queue behind the batched simulation engine.
+
+    Same contract as :class:`EventQueue` — events pop in ``(time, seq)``
+    order, where ``seq`` is global insertion order — realized as sorted
+    arrays instead of a binary heap:
+
+    * a **spine**: aligned time/event lists already in lexicographic
+      ``(time, seq)`` order, drained by advancing a cursor (an O(1)
+      pop, no heap rebalancing, no per-entry wrapper objects);
+    * a **pending batch**: events pushed since the last merge.  Because
+      insertion order is global and monotone, every pending event's seq
+      exceeds every spine event's, so a pending event can only precede
+      the spine head if its *time* is strictly earlier — until then
+      pops come off the spine untouched.  When that happens (or the
+      spine drains) the whole batch is stable-sorted by time (numpy
+      ``argsort``; stability supplies the seq tie-break) and merged in
+      one vectorized pass.
+
+    Periodic-broadcast gossip schedules whole epochs of future firings
+    between consecutive pops, so merges are rare and large — the
+    amortized cost per event is a couple of array reads.  The
+    equivalence property test (``tests/test_events.py``) drives random
+    push/pop interleavings through both queues and asserts identical
+    drain order.
+    """
+
+    def __init__(self) -> None:
+        # The spine is kept as plain python lists (cheap scalar reads in
+        # the drain loop); merges round-trip through numpy.
+        self._spine_times: list[float] = []
+        self._spine_events: list[Any] = []
+        self._cursor = 0
+        self._pend_times: list[float] = []
+        self._pend_events: list[Any] = []
+        self._pend_min = float("inf")
+        self._last_popped = float("-inf")
+
+    # ------------------------------------------------------------------
+    # pushes
+
+    def push(self, time: float, event: Any) -> None:
+        """Schedule ``event`` at ``time`` (must not be in the popped past)."""
+        if time < self._last_popped - 1e-9:
+            raise SimulationError(
+                f"event scheduled at {time} before current time {self._last_popped}"
+            )
+        self._pend_times.append(time)
+        self._pend_events.append(event)
+        if time < self._pend_min:
+            self._pend_min = time
+
+    def push_batch(self, times, events: list[Any]) -> None:
+        """Schedule a whole batch of events at once (consecutive seqs).
+
+        ``times`` may be any float sequence (typically a numpy array of
+        vectorized receive times); ``events`` is the aligned payload
+        list.  Equivalent to ``push`` called element by element.
+        """
+        if len(times) != len(events):
+            raise SimulationError("push_batch needs aligned times and events")
+        if len(times) == 0:
+            return
+        lo = float(np.min(times)) if isinstance(times, np.ndarray) else min(times)
+        if lo < self._last_popped - 1e-9:
+            raise SimulationError(
+                f"event scheduled at {lo} before current time {self._last_popped}"
+            )
+        self._pend_times.extend(
+            times.tolist() if isinstance(times, np.ndarray) else map(float, times)
+        )
+        self._pend_events.extend(events)
+        if lo < self._pend_min:
+            self._pend_min = lo
+
+    # ------------------------------------------------------------------
+    # the merge
+
+    def _merge(self) -> None:
+        """Fold the pending batch into the spine (one vectorized sort).
+
+        Pending entries hold strictly later seqs than every spine entry
+        (the counter is global and monotone), so seqs never need to be
+        materialized: a *stable* sort of the batch by time realizes the
+        within-batch seq tie-break, and inserting each pending event
+        *after* the last equal-time spine entry (``side="right"``)
+        realizes it across the batch boundary.
+        """
+        pend_times = np.asarray(self._pend_times, dtype=float)
+        order = np.argsort(pend_times, kind="stable")
+        pend_times = pend_times[order]
+        # Gather with python ints (C-level map) — indexing a list with
+        # numpy integers is several times slower.
+        pend_events = list(map(self._pend_events.__getitem__, order.tolist()))
+
+        rem_times = self._spine_times[self._cursor :]
+        rem_events = self._spine_events[self._cursor :]
+        if not rem_events:
+            merged_times = pend_times.tolist()
+            merged_events = pend_events
+        else:
+            pos = np.searchsorted(
+                np.asarray(rem_times, dtype=float), pend_times, side="right"
+            )
+            total = len(rem_events) + len(pend_events)
+            take_pending = np.zeros(total, dtype=bool)
+            pend_slots = (pos + np.arange(len(pend_events))).tolist()
+            take_pending[pend_slots] = True
+            merged = np.empty(total, dtype=float)
+            merged[take_pending] = pend_times
+            merged[~take_pending] = rem_times
+            merged_times = merged.tolist()
+            merged_events = [None] * total
+            for slot, event in zip(pend_slots, pend_events):
+                merged_events[slot] = event
+            rem_slots = np.nonzero(~take_pending)[0].tolist()
+            for slot, event in zip(rem_slots, rem_events):
+                merged_events[slot] = event
+        # In-place swaps: callers (the batched engine's drain loop) hold
+        # direct references to these lists, so identity must survive.
+        self._spine_times[:] = merged_times
+        self._spine_events[:] = merged_events
+        self._cursor = 0
+        self._pend_times.clear()
+        self._pend_events.clear()
+        self._pend_min = float("inf")
+
+    # ------------------------------------------------------------------
+    # pops
+
+    def pop_due(self, limit: float) -> Optional[tuple[float, Any]]:
+        """Pop the earliest event if its time is ``<= limit``, else ``None``.
+
+        The engine's whole drain step — emptiness check, horizon check,
+        merge-if-needed, pop — in one call.
+        """
+        if self._pend_times:
+            k = self._cursor
+            if k >= len(self._spine_events) or self._pend_min < self._spine_times[k]:
+                self._merge()
+        k = self._cursor
+        times = self._spine_times
+        if k >= len(times):
+            return None
+        time = times[k]
+        if time > limit:
+            return None
+        self._cursor = k + 1
+        self._last_popped = time
+        return time, self._spine_events[k]
+
+    def pop(self) -> tuple[float, Any]:
+        """Remove and return the earliest ``(time, event)``."""
+        item = self.pop_due(float("inf"))
+        if item is None:
+            raise SimulationError("pop from empty event queue")
+        return item
+
+    def peek_time(self) -> Optional[float]:
+        """Earliest scheduled time, or ``None`` if empty."""
+        head = (
+            self._spine_times[self._cursor]
+            if self._cursor < len(self._spine_events)
+            else None
+        )
+        if self._pend_times:
+            return self._pend_min if head is None else min(head, self._pend_min)
+        return head
+
+    def __len__(self) -> int:
+        return (len(self._spine_events) - self._cursor) + len(self._pend_times)
+
+    def __bool__(self) -> bool:
+        return len(self) > 0

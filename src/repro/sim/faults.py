@@ -291,7 +291,14 @@ class FaultController:
         return self._epoch.get(node, 0)
 
     def timer_cancelled(self, node: int, set_epoch: int) -> bool:
-        """A timer fires only if its node is up and has not crashed since."""
+        """A timer fires only if its node is up and has not crashed since.
+
+        Both engines route every firing through this one check — the
+        batched engine's tuple-coded timer events carry the same
+        ``epoch`` the scalar :class:`~repro.sim.events.FireTimer` does —
+        so a crash window cancels the identical set of firings (and
+        increments ``timers_cancelled`` identically) either way.
+        """
         if node in self._down or set_epoch != self.epoch(node):
             self.stats["timers_cancelled"] += 1
             return True
@@ -333,14 +340,28 @@ class FaultController:
     def delivery_suppressed(self, message, now: float) -> bool:
         """Whether a delivery is lost to a crash (receiver down, or the
         sender crashed while the message was in flight)."""
-        if message.receiver in self._down:
+        return self.delivery_suppressed_fields(
+            message.sender, message.receiver, message.send_time, now
+        )
+
+    def delivery_suppressed_fields(
+        self, sender: int, receiver: int, send_time: float, now: float
+    ) -> bool:
+        """Field-level form of :meth:`delivery_suppressed`.
+
+        The batched engine stores messages columnarly and has no
+        :class:`~repro.sim.messages.Message` object at delivery time;
+        both engines must land in this one implementation so the crash
+        bookkeeping (stats included) stays identical.
+        """
+        if receiver in self._down:
             self.stats["lost_receiver_down"] += 1
             return True
-        crash = self._crash_by_node.get(message.sender)
+        crash = self._crash_by_node.get(sender)
         if (
             crash is not None
             and crash.lose_in_flight
-            and message.send_time < crash.at <= now
+            and send_time < crash.at <= now
         ):
             self.stats["lost_in_flight"] += 1
             return True

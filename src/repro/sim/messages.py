@@ -98,6 +98,18 @@ class HalfDistanceDelay:
     ) -> float:
         return distance / 2.0
 
+    def broadcast_delays(
+        self, sender: int, receivers: list[int], distances: list[float]
+    ) -> list[float]:
+        """Whole-neighborhood form of :meth:`delay` for the batched engine.
+
+        Only policies whose delay depends purely on the pair distance can
+        offer this hook — it must return exactly ``delay(...)``'s floats,
+        which lets the engine precompute and batch-schedule a broadcast's
+        deliveries without touching the RNG stream.
+        """
+        return [d / 2.0 for d in distances]
+
 
 @dataclass(frozen=True)
 class FixedFractionDelay:
@@ -119,6 +131,13 @@ class FixedFractionDelay:
         rng: random.Random,
     ) -> float:
         return self.fraction * distance
+
+    def broadcast_delays(
+        self, sender: int, receivers: list[int], distances: list[float]
+    ) -> list[float]:
+        """Distance-only hook for the batched engine (see
+        :meth:`HalfDistanceDelay.broadcast_delays`)."""
+        return [self.fraction * d for d in distances]
 
 
 @dataclass(frozen=True)

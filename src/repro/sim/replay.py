@@ -41,6 +41,7 @@ def replay(
     rate_schedules: Optional[Mapping[int, PiecewiseConstantRate]] = None,
     topology: Optional[Topology] = None,
     seed: int = 0,
+    engine: str = "scalar",
 ) -> Execution:
     """Re-run ``algorithm`` against the frozen delays of ``execution``.
 
@@ -49,6 +50,13 @@ def replay(
     The replayed algorithm must send messages in the same global order
     for the script to apply — replaying the *same* deterministic
     algorithm always does.
+
+    ``execution`` may come from either simulation engine — an
+    :class:`Execution` records delays the same way under both — and
+    ``engine`` picks which engine performs the replay.  The engines'
+    byte-identity contract (``tests/test_engine_equivalence.py``) makes
+    the four combinations interchangeable; the round-trip tests in
+    ``tests/test_replay.py`` pin the cross pairs.
     """
     topo = topology or execution.topology
     rates = (
@@ -60,14 +68,23 @@ def replay(
     return run_simulation(
         topo,
         algorithm.processes(topo),
-        SimConfig(duration=execution.duration, rho=execution.rho, seed=seed),
+        SimConfig(
+            duration=execution.duration,
+            rho=execution.rho,
+            seed=seed,
+            engine=engine,
+        ),
         rate_schedules=rates,
         delay_policy=script,
     )
 
 
 def verify_replay(
-    execution: Execution, algorithm: SyncAlgorithm, *, seed: int = 0
+    execution: Execution,
+    algorithm: SyncAlgorithm,
+    *,
+    seed: int = 0,
+    engine: str = "scalar",
 ) -> Execution:
     """Replay and assert observational equivalence; returns the replay.
 
@@ -76,7 +93,7 @@ def verify_replay(
     replay sent a different number of messages (a cheap first-line
     check before the per-node comparison).
     """
-    replayed = replay(execution, algorithm, seed=seed)
+    replayed = replay(execution, algorithm, seed=seed, engine=engine)
     if len(replayed.messages) != len(execution.messages):
         raise SimulationError(
             f"replay sent {len(replayed.messages)} messages, original "

@@ -77,12 +77,20 @@ class SimConfig:
         Seed for all randomness (per-node RNGs and random delay policies).
     record_trace:
         Traces cost memory; long benign runs may disable them.
+    engine:
+        ``"scalar"`` (the reference heap loop below) or ``"batched"``
+        (the vectorized :class:`~repro.sim.engine.BatchedEngine`).  The
+        two are observably identical — same traces, same clocks, same
+        messages — which the differential harness in
+        ``tests/test_engine_equivalence.py`` enforces; ``"batched"``
+        only changes wall-clock cost (``benchmarks/bench_sim.py``).
     """
 
     duration: float
     rho: float = DEFAULT_RHO
     seed: int = 0
     record_trace: bool = True
+    engine: str = "scalar"
 
 
 class Simulator:
@@ -113,6 +121,10 @@ class Simulator:
             raise SimulationError("processes must cover exactly the topology's nodes")
         if config.duration <= 0:
             raise SimulationError("duration must be positive")
+        if config.engine not in ("scalar", "batched"):
+            raise SimulationError(
+                f"unknown engine {config.engine!r} (expected 'scalar' or 'batched')"
+            )
         self.topology = topology
         self._topology_timeline: list[tuple[float, Topology]] = [(0.0, topology)]
         self.config = config
@@ -232,6 +244,12 @@ class Simulator:
         if self._finished:
             raise SimulationError("a Simulator instance runs exactly once")
         self._finished = True
+        if self.config.engine == "batched":
+            # Hand the validated setup (clocks, fault controller, RNGs,
+            # processes — all still untouched) to the vectorized engine.
+            from repro.sim.engine import BatchedEngine
+
+            return BatchedEngine(self).run()
         duration = self.config.duration
 
         if self._dynamic is not None:

@@ -11,12 +11,14 @@ readings is exactly the executable form of the principle, implemented in
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Any, Iterator
 
 __all__ = [
     "TraceEvent",
     "ExecutionTrace",
+    "ColumnarTrace",
     "SEND",
     "RECEIVE",
     "TIMER",
@@ -111,3 +113,75 @@ class ExecutionTrace:
     def message_records(self) -> list[TraceEvent]:
         """All receive events (each corresponds to one delivered message)."""
         return self.of_kind(RECEIVE)
+
+    def digest(self) -> str:
+        """Canonical SHA-256 of the trace.
+
+        Computed over the ``repr`` of every event in order — the exact
+        blob the sweep engine's ``trace_digest`` probe has always
+        hashed, now single-sourced so the scalar/batched engine
+        equivalence harness and the sweep cache compare the same bytes.
+        """
+        blob = "\n".join(repr(e) for e in self.events)
+        return hashlib.sha256(blob.encode()).hexdigest()
+
+
+class ColumnarTrace(ExecutionTrace):
+    """A trace recorded as raw field rows, materialized lazily.
+
+    The batched engine appends one plain tuple
+    ``(real_time, node, hardware, logical, kind, detail)`` per action in
+    its hot loop and only pays for :class:`TraceEvent` construction if
+    the trace is actually read — measurements that never touch the trace
+    (long benign sweeps) skip the cost entirely.  Once materialized, the
+    events are cached and indistinguishable from a scalar-engine trace:
+    equality, iteration, projections, and :meth:`digest` all see
+    identical :class:`TraceEvent` values.
+    """
+
+    def __init__(self, rows: list[tuple] | None = None):
+        self._rows: list[tuple] = rows if rows is not None else []
+        self._events: list[TraceEvent] | None = None
+
+    @property
+    def events(self) -> list[TraceEvent]:  # type: ignore[override]
+        if self._events is None:
+            self._events = [TraceEvent(*row) for row in self._rows]
+        return self._events
+
+    def append(self, event: TraceEvent) -> None:
+        self._rows.append(
+            (
+                event.real_time,
+                event.node,
+                event.hardware,
+                event.logical,
+                event.kind,
+                event.detail,
+            )
+        )
+        if self._events is not None:
+            self._events.append(event)
+
+    def append_row(
+        self,
+        real_time: float,
+        node: int,
+        hardware: float,
+        logical: float,
+        kind: str,
+        detail: Any = None,
+    ) -> None:
+        """Hot-path append: record the fields without building an event."""
+        self._rows.append((real_time, node, hardware, logical, kind, detail))
+        self._events = None
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, ExecutionTrace):
+            return self.events == other.events
+        return NotImplemented
+
+    __hash__ = None  # type: ignore[assignment]

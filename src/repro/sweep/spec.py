@@ -77,6 +77,12 @@ class SweepSpec:
     step: float = 1.0
     #: Wall seconds per simulation unit for wall-clock live transports.
     time_scale: float = 0.05
+    #: Simulation engine for ``"sim"`` cells: ``"scalar"`` or
+    #: ``"batched"``.  The engines are byte-identical (the differential
+    #: harness in ``tests/test_engine_equivalence.py`` is the contract),
+    #: so this is purely a speed knob; ``"scalar"`` cells keep their
+    #: historical cache keys (the param is only emitted when non-default).
+    engine: str = "scalar"
     name: str = "sweep"
 
     def __post_init__(self) -> None:
@@ -87,6 +93,10 @@ class SweepSpec:
                 raise SweepError(f"spec axis {axis!r} must be non-empty")
         if self.duration <= 0:
             raise SweepError(f"duration must be positive, got {self.duration}")
+        if self.engine not in ("scalar", "batched"):
+            raise SweepError(
+                f"engine must be 'scalar' or 'batched', got {self.engine!r}"
+            )
 
     # ------------------------------------------------------------------
 
@@ -174,23 +184,21 @@ class SweepSpec:
             )
         ):
             if transport == "sim":
-                jobs.append(
-                    Job(
-                        kind="benign-run",
-                        params={
-                            "topology": topology,
-                            "algorithm": algorithm,
-                            "rates": rates,
-                            "delays": delays,
-                            "faults": faults,
-                            "mobility": mobility,
-                            "seed": int(seed),
-                            "duration": self.duration,
-                            "rho": self.rho,
-                            "step": self.step,
-                        },
-                    )
-                )
+                params = {
+                    "topology": topology,
+                    "algorithm": algorithm,
+                    "rates": rates,
+                    "delays": delays,
+                    "faults": faults,
+                    "mobility": mobility,
+                    "seed": int(seed),
+                    "duration": self.duration,
+                    "rho": self.rho,
+                    "step": self.step,
+                }
+                if self.engine != "scalar":
+                    params["engine"] = self.engine
+                jobs.append(Job(kind="benign-run", params=params))
             else:
                 jobs.append(
                     Job(

@@ -29,6 +29,11 @@ def pytest_configure(config):
     config.addinivalue_line("markers", "slow: long-running full-scale checks")
     config.addinivalue_line(
         "markers",
+        "engine: differential batched-vs-scalar engine equivalence suite "
+        "(select with -m engine)",
+    )
+    config.addinivalue_line(
+        "markers",
         "rt: live-runtime transport suite (wall-clock sleeps and node "
         "processes; select with -m rt, skip with -m 'not rt')",
     )

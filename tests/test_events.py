@@ -70,3 +70,140 @@ class TestEventTypes:
     def test_fire_timer_fields(self):
         e = FireTimer(node=1, name="tick", generation=7)
         assert (e.node, e.name, e.generation) == (1, "tick", 7)
+
+
+# ----------------------------------------------------------------------
+# BatchEventQueue: the vectorized queue behind the batched engine must
+# drain in exactly the scalar heap's (time, seq) order.
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.sim.events import BatchEventQueue, TopologyChange
+
+
+@st.composite
+def queue_programs(draw):
+    """A random interleaving of pushes, batch pushes and pops.
+
+    Times are drawn from a small grid so same-instant ties are common —
+    the tie-break (global insertion order) is exactly what this property
+    pins.  Push times are offsets from the latest popped time, keeping
+    every program legal (no pushes into the popped past).
+    """
+    return draw(
+        st.lists(
+            st.one_of(
+                st.tuples(st.just("push"), st.sampled_from([0.0, 0.5, 1.0, 2.0])),
+                st.tuples(
+                    st.just("batch"),
+                    st.lists(
+                        st.sampled_from([0.0, 0.25, 0.5, 1.0, 3.0]),
+                        min_size=0,
+                        max_size=6,
+                    ),
+                ),
+                st.tuples(st.just("pop"), st.integers(min_value=1, max_value=4)),
+            ),
+            min_size=1,
+            max_size=40,
+        )
+    )
+
+
+def _run_program(program, make_queue, *, batch_as_array):
+    queue = make_queue()
+    popped = []
+    clock = 0.0  # latest popped time: pushes land at clock + offset
+    tag = 0
+    for op, arg in program:
+        if op == "push":
+            queue.push(clock + arg, tag)
+            tag += 1
+        elif op == "batch":
+            times = [clock + offset for offset in arg]
+            events = list(range(tag, tag + len(times)))
+            tag += len(times)
+            if batch_as_array:
+                queue.push_batch(np.asarray(times, dtype=float), events)
+            else:
+                for t, e in zip(times, events):
+                    queue.push(t, e)
+        else:
+            for _ in range(arg):
+                if len(queue) == 0:
+                    break
+                t, event = queue.pop()
+                popped.append((t, event))
+                clock = t
+    while len(queue):
+        popped.append(queue.pop())
+    return popped
+
+
+class TestBatchQueueEquivalence:
+    @given(queue_programs())
+    @settings(max_examples=200, deadline=None)
+    def test_drains_in_scalar_heap_order(self, program):
+        scalar = _run_program(program, EventQueue, batch_as_array=False)
+        batched = _run_program(program, BatchEventQueue, batch_as_array=True)
+        assert scalar == batched
+
+    @given(queue_programs())
+    @settings(max_examples=100, deadline=None)
+    def test_push_batch_equals_elementwise_push(self, program):
+        elementwise = _run_program(program, BatchEventQueue, batch_as_array=False)
+        batched = _run_program(program, BatchEventQueue, batch_as_array=True)
+        assert elementwise == batched
+
+    def test_same_instant_ties_break_by_insertion_order(self):
+        q = BatchEventQueue()
+        q.push(1.0, "first")
+        q.push(1.0, "second")
+        q.pop()  # trigger interleaving: merge state with a popped past
+        q.push(1.0, "third")
+        q.push_batch([1.0, 1.0], ["fourth", "fifth"])
+        assert [q.pop()[1] for _ in range(4)] == [
+            "second",
+            "third",
+            "fourth",
+            "fifth",
+        ]
+
+    def test_topology_change_pops_before_same_instant_work(self):
+        # The engine schedules TopologyChange events before the loop
+        # starts, so they hold the lowest seqs at their instant and must
+        # surface ahead of same-time deliveries or timers pushed later.
+        q = BatchEventQueue()
+        swap = TopologyChange(topology=None)
+        q.push(5.0, swap)
+        q.push(0.0, "start")
+        q.push(5.0, "delivery-at-5")
+        q.push(5.0, "timer-at-5")
+        assert q.pop() == (0.0, "start")
+        assert q.pop() == (5.0, swap)
+        assert [q.pop()[1] for _ in range(2)] == ["delivery-at-5", "timer-at-5"]
+
+
+class TestBatchQueueSafety:
+    def test_pop_empty_raises(self):
+        with pytest.raises(SimulationError):
+            BatchEventQueue().pop()
+
+    def test_push_into_popped_past_raises(self):
+        q = BatchEventQueue()
+        q.push(5.0, "later")
+        q.pop()
+        with pytest.raises(SimulationError):
+            q.push(4.0, "past")
+        with pytest.raises(SimulationError):
+            q.push_batch([6.0, 4.0], ["ok", "past"])
+
+    def test_pop_due_respects_horizon(self):
+        q = BatchEventQueue()
+        q.push(2.0, "early")
+        q.push(9.0, "late")
+        assert q.pop_due(5.0) == (2.0, "early")
+        assert q.pop_due(5.0) is None
+        assert len(q) == 1
+        assert q.peek_time() == 9.0

@@ -429,3 +429,76 @@ class TestDropping:
             delay_policy=policy,
         )
         ex.check_validity()
+
+
+@pytest.mark.engine
+class TestBatchedEngineParity:
+    """Fault paths under the batched engine: regression guards.
+
+    Crash-epoch timer cancellation is the subtlest interaction between
+    faults and batch-scheduled timers — a timer set before a crash must
+    never fire after the node's epoch advanced, and the batched engine
+    must cancel *exactly* the firings the scalar loop cancels (counted
+    by ``timers_cancelled``).
+    """
+
+    def _run_both(self, topo, plan, *, duration=16.0, seed=4):
+        from _engine_helpers import assert_equivalent, run_both
+
+        scalar, batched = run_both(
+            topo,
+            MaxBasedAlgorithm,
+            duration=duration,
+            seed=seed,
+            fault_plan=plan,
+        )
+        assert_equivalent(scalar, batched)
+        return scalar, batched
+
+    def test_mid_epoch_crash_cancels_identical_timers(self):
+        # Crash mid-tick (period 1.0, crash at 4.3) with recovery: the
+        # pending firing set in epoch 0 comes due inside the outage and
+        # must be cancelled under both engines.
+        topo = line(5)
+        plan = FaultPlan().with_crash(2, at=4.3, recover_at=9.7)
+        scalar, batched = self._run_both(topo, plan)
+        assert scalar.fault_stats["timers_cancelled"] > 0
+        assert (
+            scalar.fault_stats["timers_cancelled"]
+            == batched.fault_stats["timers_cancelled"]
+        )
+
+    def test_repeated_crash_windows_cancel_identically(self):
+        topo = ring(6)
+        plan = (
+            FaultPlan()
+            .with_crash(1, at=3.4, recover_at=6.6)
+            .with_crash(4, at=8.2, recover_at=12.1)
+        )
+        scalar, batched = self._run_both(topo, plan)
+        assert scalar.fault_stats == batched.fault_stats
+
+    def test_crash_without_recovery_equivalent(self):
+        topo = line(6)
+        plan = FaultPlan().with_crash(0, at=5.5)
+        self._run_both(topo, plan)
+
+    def test_empty_plan_byte_identical_under_batched(self):
+        # An empty plan must be a no-op for the batched engine too: same
+        # digest as the batched fault-free run *and* as the scalar runs.
+        from _engine_helpers import run_engine
+
+        topo = line(5)
+        kwargs = dict(duration=16.0, seed=4)
+        batched_bare = run_engine("batched", topo, MaxBasedAlgorithm(), **kwargs)
+        batched_empty = run_engine(
+            "batched", topo, MaxBasedAlgorithm(), fault_plan=FaultPlan(), **kwargs
+        )
+        scalar_empty = run_engine(
+            "scalar", topo, MaxBasedAlgorithm(), fault_plan=FaultPlan(), **kwargs
+        )
+        assert batched_bare.trace.digest() == batched_empty.trace.digest()
+        assert batched_empty.trace.digest() == scalar_empty.trace.digest()
+        assert batched_bare.messages == batched_empty.messages == scalar_empty.messages
+        assert batched_bare.fault_stats is None
+        assert batched_empty.fault_stats is None

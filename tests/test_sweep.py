@@ -594,3 +594,46 @@ class TestSweepCLI:
         code = cli_main(["sweep", "--faults", "heisenbug:0.5"])
         assert code == 2
         assert "unknown fault family" in capsys.readouterr().err
+
+
+@pytest.mark.engine
+class TestEngineAxis:
+    """The simulation-engine knob on sim cells."""
+
+    PARAMS = {
+        "topology": "line:6",
+        "algorithm": "max-based",
+        "rates": "drifted",
+        "delays": "uniform",
+        "faults": "none",
+        "seed": 0,
+        "duration": 10.0,
+        "rho": 0.2,
+        "trace_digest": True,
+    }
+
+    def test_batched_cell_matches_scalar_cell_exactly(self):
+        # Byte identity surfaces in the sweep layer as equal metric
+        # dicts — including the trace_sha256 determinism probe.
+        scalar = execute_job(Job(kind="benign-run", params=dict(self.PARAMS)))
+        batched = execute_job(
+            Job(kind="benign-run", params={**self.PARAMS, "engine": "batched"})
+        )
+        assert scalar.metrics == batched.metrics
+        assert "trace_sha256" in scalar.metrics
+
+    def test_scalar_cells_keep_historical_cache_keys(self):
+        # The engine param is only emitted when non-default, so existing
+        # caches keep hitting for scalar grids.
+        base = dict(topologies=("line:5",), seeds=(0,), duration=8.0)
+        scalar_jobs = SweepSpec(**base).jobs()
+        batched_jobs = SweepSpec(engine="batched", **base).jobs()
+        assert all("engine" not in j.params for j in scalar_jobs)
+        assert all(j.params["engine"] == "batched" for j in batched_jobs)
+        assert job_hash(scalar_jobs[0]) == job_hash(
+            SweepSpec(engine="scalar", **base).jobs()[0]
+        )
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(SweepError):
+            SweepSpec(engine="warp")
