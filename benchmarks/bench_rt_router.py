@@ -1,0 +1,102 @@
+"""Router transport throughput: the E14 node-count ladder, timed.
+
+Run with pytest (``python -m pytest benchmarks/bench_rt_router.py -s``)
+or directly (``python benchmarks/bench_rt_router.py``).  Climbs the same
+router ladder experiment E14 reports — gradient on growing line/grid
+networks, hundreds of nodes multiplexed onto a few worker processes —
+and records events/sec per rung into ``BENCH_rt.json`` at the repo root.
+
+The floor is deliberately modest: router throughput is wall-clock bound
+(workers sleep between due events), so events/sec mostly measures how
+much concurrent work the multiplexed loop sustains without falling
+behind, not raw dispatch speed.  A pathological regression (quadratic
+routing, lost frames stalling the ladder, worker churn) lands far below
+it; honest scheduling jitter never does.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from conftest import write_headline
+
+from repro.analysis.reporting import Table
+from repro.experiments.e14_live import LADDER_FULL, ladder_cell
+
+#: The ladder's biggest rungs dominate runtime; keep duration short.
+DURATION = 6.0
+TIME_SCALE = 0.1
+SEED = 0
+
+#: Aggregate floor across the ladder's largest rung (events/sec over all
+#: workers).  A 512-node line at duration 6 dispatches thousands of
+#: events in ~0.6s of wall time, so 1000/s only catches order-of-
+#: magnitude regressions.
+MIN_EVENTS_PER_SEC = 1_000
+
+
+def test_router_ladder_events_per_sec():
+    cells = [
+        ladder_cell(
+            spec,
+            duration=DURATION,
+            rho=0.2,
+            seed=SEED,
+            time_scale=TIME_SCALE,
+        )
+        for spec in LADDER_FULL
+    ]
+    table = Table(
+        title="bench_rt_router: events/sec up the E14 node-count ladder",
+        headers=["topology", "n", "workers", "events", "events/sec", "wall s"],
+        caption=(
+            f"gradient, duration {DURATION} sim units at time_scale "
+            f"{TIME_SCALE}, seed {SEED}; floor {MIN_EVENTS_PER_SEC} "
+            f"events/s on the largest rung."
+        ),
+    )
+    for cell in cells:
+        table.add_row(
+            cell["topology"],
+            cell["n_nodes"],
+            cell["workers"],
+            cell["events"],
+            round(cell["events_per_sec"], 1),
+            round(cell["wall_elapsed"], 3),
+        )
+    print("\n" + table.render())
+
+    write_headline(
+        "rt",
+        {
+            "ladder": [
+                {
+                    "topology": c["topology"],
+                    "n_nodes": c["n_nodes"],
+                    "workers": c["workers"],
+                    "events": c["events"],
+                    "events_per_sec": round(c["events_per_sec"], 2),
+                    "bounded": c["bounded"],
+                    "wall_elapsed": round(c["wall_elapsed"], 4),
+                }
+                for c in cells
+            ],
+            "min_events_per_sec": MIN_EVENTS_PER_SEC,
+        },
+    )
+
+    largest = max(cells, key=lambda c: c["n_nodes"])
+    assert largest["events_per_sec"] >= MIN_EVENTS_PER_SEC, (
+        f"router ladder rung {largest['topology']} only "
+        f"{largest['events_per_sec']:.0f} events/s"
+    )
+    assert all(c["bounded"] for c in cells), (
+        "router ladder rung left the diameter+1 skew budget: "
+        + ", ".join(c["topology"] for c in cells if not c["bounded"])
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    test_router_ladder_events_per_sec()
+    print("\nbench_rt_router: ok")
+    sys.exit(0)

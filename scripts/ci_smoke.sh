@@ -2,7 +2,9 @@
 # CI smoke: tier-1 tests, then one quick-scale parallel sweep end-to-end,
 # then the fault/robustness suite (E13 + the `faults`-marked tests),
 # then the live runtime (a <=10s virtual-time demo, a UDP E14 quick cell,
-# and the E14 sim-vs-live table), then the batched-vs-scalar engine
+# a multiplexed router cell with live churn, the crash-failure
+# regression, and the E14 sim-vs-live table), then the batched-vs-scalar
+# engine
 # differential check, the scale experiment E15, the mobility experiment
 # E16 (dynamic topologies end-to-end), the docs step (module doctests +
 # markdown link check), and the engine/analysis benchmarks
@@ -60,6 +62,21 @@ timeout 30 python -m repro.experiments live --alg gradient --topology line \
     > "$ARTIFACTS/live_udp.txt"
 grep -q "live-udp" "$ARTIFACTS/live_udp.txt" \
     || { echo "error: udp live cell produced no summary" >&2; exit 1; }
+# A router cell with live churn: 32 nodes multiplexed onto worker
+# processes, a crash-recover fault plan applied to real frames.
+timeout 30 python -m repro.experiments live --alg gradient --topology line \
+    --nodes 32 --transport router --duration 6 --time-scale 0.1 \
+    --faults crash-recover:0.3,2 > "$ARTIFACTS/live_router.txt"
+grep -q "live-router" "$ARTIFACTS/live_router.txt" \
+    || { echo "error: router live cell produced no summary" >&2; exit 1; }
+grep -q "fault events" "$ARTIFACTS/live_router.txt" \
+    || { echo "error: router live cell reported no fault events" >&2; exit 1; }
+# The failure-handling regression: a deliberately killed node process
+# must fail the run promptly with a descriptive RtError (the old
+# runtime hung out its whole report budget, then died on EOFError).
+timeout 60 python -m pytest -q -m rt \
+    tests/test_rt_router.py -k "FailureHandling or dead_worker" \
+    || { echo "error: rt failure-handling regression failed" >&2; exit 1; }
 # The sim-vs-live comparison table end to end.
 python -m repro.experiments E14 --scale quick > "$ARTIFACTS/e14.txt"
 grep -q "d final vs sim" "$ARTIFACTS/e14.txt" \
@@ -144,6 +161,12 @@ python benchmarks/bench_sweep.py
 echo
 echo "== live runtime benchmark =="
 python benchmarks/bench_rt.py
+
+echo
+echo "== router scale-ladder benchmark (writes BENCH_rt.json) =="
+python benchmarks/bench_rt_router.py
+test -s BENCH_rt.json \
+    || { echo "error: bench_rt_router wrote no BENCH_rt.json" >&2; exit 1; }
 
 echo
 echo "ci_smoke: all green"

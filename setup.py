@@ -6,7 +6,7 @@ README = Path(__file__).parent / "README.md"
 
 setup(
     name="repro-gradient-clock-sync",
-    version="1.3.0",
+    version="1.4.0",
     description=(
         "Executable reproduction of 'Gradient Clock Synchronization' "
         "(Fan & Lynch, PODC 2004): simulator, lower-bound adversaries, "

@@ -13,24 +13,54 @@ side by side:
 * ``asyncio`` — real wall-clock tasks in one process: the skew gap vs
   sim is genuine OS scheduling noise on top of the injected delays;
 * ``udp`` — one OS process per node over localhost UDP: adds real
-  serialization, kernel queues, and cross-process clock realization.
+  serialization, kernel queues, and cross-process clock realization;
+* ``router`` — many nodes multiplexed onto a few worker processes
+  around one central router socket: the scale backend.
 
 Each live cell reports its wall-clock cost and a ``bounded`` verdict:
 final skew within :func:`skew_bound` (a gradient-style ``O(diameter)``
-budget).  Beyond the paper — the paper has no implementation; this is
-the reproduction graduating from model to system.
+budget).  A second table climbs a router node-count ladder
+(:data:`LADDER_QUICK` / :data:`LADDER_FULL`) recording throughput
+(events/sec) and the bounded verdict at each size — the runtime's
+scale envelope.  Beyond the paper — the paper has no implementation;
+this is the reproduction graduating from model to system.
 """
 
 from __future__ import annotations
 
+import time
+
 from repro.analysis.reporting import Table
+from repro.analysis.skew import summarize
 from repro.experiments.common import ExperimentResult, Scale, pick
+from repro.rt.run import LiveRunConfig, run_live
 from repro.sweep import Job, run_jobs
 
-__all__ = ["run", "BACKENDS", "VIRTUAL_TOLERANCE", "skew_bound"]
+__all__ = [
+    "run",
+    "BACKENDS",
+    "VIRTUAL_TOLERANCE",
+    "skew_bound",
+    "LADDER_QUICK",
+    "LADDER_FULL",
+    "ladder_cell",
+]
 
 #: Execution backends compared, in table order.
-BACKENDS = ("sim", "virtual", "asyncio", "udp")
+BACKENDS = ("sim", "virtual", "asyncio", "udp", "router")
+
+#: Router-ladder topologies per scale: node counts 8 -> 512 on the two
+#: shapes the paper's gradient bound distinguishes (long thin line,
+#: denser grid).
+LADDER_QUICK = ("line:8", "line:32")
+LADDER_FULL = (
+    "line:8",
+    "line:32",
+    "grid:8,4",
+    "line:128",
+    "grid:16,8",
+    "line:512",
+)
 
 #: Max allowed |max-skew trajectory difference| between the simulator
 #: and a virtual-time live run of the same scenario (float round-off;
@@ -47,6 +77,56 @@ def skew_bound(diameter: float) -> float:
     breaks synchronization blows straight through it.
     """
     return diameter + 1.0
+
+
+def ladder_cell(
+    topology: str,
+    *,
+    duration: float,
+    rho: float,
+    seed: int,
+    time_scale: float,
+) -> dict:
+    """One router-ladder rung: run live, report throughput + the verdict.
+
+    Traces are only recorded up to 64 nodes — above that the merged
+    event list dominates memory and the ladder measures throughput and
+    the bounded verdict, both of which survive without a trace.
+    """
+    config = LiveRunConfig(
+        topology=topology,
+        algorithm="gradient",
+        duration=duration,
+        rho=rho,
+        seed=seed,
+        transport="router",
+        time_scale=time_scale,
+        record_trace=topology_nodes(topology) <= 64,
+    )
+    wall_start = time.perf_counter()
+    execution = run_live(config)
+    wall = time.perf_counter() - wall_start
+    skew = summarize(execution)
+    events = int(execution.live_stats.get("events", 0))
+    return {
+        "topology": topology,
+        "n_nodes": int(execution.topology.n),
+        "workers": int(execution.live_stats.get("workers", 0)),
+        "events": events,
+        "events_per_sec": events / wall if wall > 0 else 0.0,
+        "messages": len(execution.messages),
+        "final_skew": float(skew.final_skew),
+        "bounded": bool(skew.final_skew <= skew_bound(execution.topology.diameter)),
+        "frames_dropped": int(execution.live_stats.get("frames_dropped", 0)),
+        "wall_elapsed": wall,
+    }
+
+
+def topology_nodes(spec: str) -> int:
+    """Node count of a topology spec (probe-build, used for gating)."""
+    from repro.sweep.families import topology_from_spec
+
+    return topology_from_spec(spec).n
 
 
 def _jobs(
@@ -115,12 +195,13 @@ def run(
         topology, algorithms, backends,
         duration=duration, rho=rho, seed=seed, time_scale=time_scale,
     )
-    # udp cells spawn node processes, which daemonic pool workers may
-    # not do — they run serially in the parent; everything else may fan
-    # out across the pool.
-    pool_jobs = [j for j in jobs if j.params.get("transport") != "udp"]
-    udp_jobs = [j for j in jobs if j.params.get("transport") == "udp"]
-    outcomes = run_jobs(pool_jobs, workers=workers) + run_jobs(udp_jobs, workers=1)
+    # udp/router cells spawn OS processes, which daemonic pool workers
+    # may not do — they run serially in the parent; everything else may
+    # fan out across the pool.
+    forking = ("udp", "router")
+    pool_jobs = [j for j in jobs if j.params.get("transport") not in forking]
+    serial_jobs = [j for j in jobs if j.params.get("transport") in forking]
+    outcomes = run_jobs(pool_jobs, workers=workers) + run_jobs(serial_jobs, workers=1)
 
     cells: dict[tuple[str, str], dict] = {}
     for outcome in outcomes:
@@ -173,6 +254,44 @@ def run(
                 "bounded": bounded,
                 "wall_elapsed": m.get("wall_elapsed"),
             }
+    # The router node-count ladder: how far up the live runtime scales.
+    ladder_topologies = pick(scale, LADDER_QUICK, LADDER_FULL)
+    ladder_duration = pick(scale, 4.0, 6.0)
+    ladder = [
+        ladder_cell(
+            spec,
+            duration=ladder_duration,
+            rho=rho,
+            seed=seed,
+            time_scale=0.1,
+        )
+        for spec in ladder_topologies
+    ]
+    ladder_table = Table(
+        title="E14: router scale ladder, gradient on growing networks",
+        headers=[
+            "topology", "n", "workers", "events", "events/sec",
+            "final_skew", "bounded", "wall s",
+        ],
+        caption=(
+            f"router transport, duration {ladder_duration} sim units at "
+            f"time_scale 0.1, seed {seed}.  'events/sec' is callback "
+            f"events dispatched across all workers per wall second; "
+            f"'bounded' checks final skew against the diameter+1 budget."
+        ),
+    )
+    for cell in ladder:
+        ladder_table.add_row(
+            cell["topology"],
+            cell["n_nodes"],
+            cell["workers"],
+            cell["events"],
+            round(cell["events_per_sec"], 1),
+            round(cell["final_skew"], 4),
+            "yes" if cell["bounded"] else "NO",
+            round(cell["wall_elapsed"], 3),
+        )
+
     return ExperimentResult(
         experiment_id="E14",
         title="live runtime: sim-vs-live skew across transports",
@@ -180,16 +299,20 @@ def run(
             "none — the paper has no implementation; this validates the "
             "live runtime against the model"
         ),
-        tables=[table],
+        tables=[table, ladder_table],
         notes=[
             f"{len(outcomes)} cells ({len(algorithms)} algorithms x "
             f"{len(backends)} backends), workers={workers}; udp cells "
-            f"run one OS process per node",
+            f"run one OS process per node, router cells multiplex nodes "
+            f"onto worker processes",
+            f"router ladder: {len(ladder)} sizes up to "
+            f"n={max(c['n_nodes'] for c in ladder)}",
         ],
         data={
             "topology": topology,
             "backends": backends,
             "virtual_tolerance": VIRTUAL_TOLERANCE,
             "cells": comparisons,
+            "ladder": ladder,
         },
     )

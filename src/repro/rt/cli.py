@@ -32,7 +32,8 @@ def build_parser() -> argparse.ArgumentParser:
         description=(
             "Run a clock synchronization algorithm live: unchanged "
             "simulator processes on a virtual-time scheduler, real "
-            "asyncio tasks, or one UDP process per node."
+            "asyncio tasks, one UDP process per node, or hundreds of "
+            "nodes multiplexed onto router worker processes."
         ),
     )
     parser.add_argument(
@@ -60,6 +61,20 @@ def build_parser() -> argparse.ArgumentParser:
         "--time-scale", type=float, default=0.1,
         help="wall seconds per simulation unit (wall-clock transports)",
     )
+    parser.add_argument(
+        "--faults", default="none",
+        help="fault-family spec, e.g. crash-recover:0.25,5 "
+             "(router transport only)",
+    )
+    parser.add_argument(
+        "--mobility", default="static",
+        help="mobility-family spec, e.g. blink:0.2,2 "
+             "(router transport only)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=0,
+        help="router worker processes (0 = auto, ~1 per 16 nodes)",
+    )
     return parser
 
 
@@ -79,6 +94,9 @@ def main(argv: list[str] | None = None) -> int:
             seed=args.seed,
             transport=args.transport,
             time_scale=args.time_scale,
+            faults=args.faults,
+            mobility=args.mobility,
+            workers=args.workers,
         )
         wall_start = time.perf_counter()
         execution = run_live(config)
@@ -104,6 +122,16 @@ def main(argv: list[str] | None = None) -> int:
     table.add_row("mean |skew|", round(skew.mean_abs_skew, 4))
     table.add_row("messages sent", len(execution.messages))
     table.add_row("trace events", len(execution.trace))
+    live = execution.live_stats or {}
+    if "frames_dropped" in live:
+        table.add_row("frames dropped", live["frames_dropped"])
+    if "workers" in live:
+        table.add_row("router workers", live["workers"])
+    if execution.fault_stats:
+        injected = {k: v for k, v in execution.fault_stats.items() if v}
+        table.add_row("fault events", injected or "none fired")
+    if execution.is_dynamic:
+        table.add_row("rewirings", len(execution.topology_timeline) - 1)
     table.add_row("wall-clock seconds", round(wall, 3))
     print(table.render())
     return 0

@@ -5,13 +5,17 @@ sweep engine: a :class:`~repro.sweep.spec.SweepSpec` whose
 ``transports`` axis names live backends expands into ``live-run`` cells
 next to the ``benign-run`` simulator cells, and the aggregate tables
 line them up by the shared metric names.  The metrics dict mirrors
-``benign-run``'s exactly (plus ``transport`` and ``wall_elapsed``), so
-every downstream consumer — summary tables, JSON artifacts, E14 —
-treats sim and live rows uniformly.
+``benign-run``'s exactly (plus ``transport``, ``frames_dropped``, and
+``wall_elapsed``), so every downstream consumer — summary tables, JSON
+artifacts, E14 — treats sim and live rows uniformly.  Router cells may
+additionally carry non-default ``faults`` / ``mobility`` params: live
+churn, counted in ``fault_events`` and ``rewirings`` like a simulator
+cell.
 
-Caveat for grids: ``udp`` cells spawn node processes, which daemonic
-pool workers may not do — run udp cells at ``workers=1`` (the sweep
-runner's serial path); the in-process backends parallelize freely.
+Caveat for grids: ``udp`` and ``router`` cells spawn OS processes,
+which daemonic pool workers may not do — run those cells at
+``workers=1`` (the sweep runner's serial path); the in-process backends
+parallelize freely.
 """
 
 from __future__ import annotations
@@ -33,7 +37,8 @@ def live_run(params: Mapping[str, Any]) -> dict:
 
     Params: ``topology``, ``algorithm``, ``rates``, ``delays``,
     ``transport``, ``duration``, ``rho``, ``seed``, optional ``step``,
-    ``time_scale``, and ``settle_threshold``.
+    ``time_scale``, ``settle_threshold``, and — router cells only —
+    ``faults`` and ``mobility``.
     """
     topology = topology_from_spec(params["topology"])
     step = float(params.get("step", 1.0))
@@ -47,6 +52,8 @@ def live_run(params: Mapping[str, Any]) -> dict:
         seed=int(params["seed"]),
         transport=str(params["transport"]),
         time_scale=float(params.get("time_scale", 0.1)),
+        faults=str(params.get("faults", "none")),
+        mobility=str(params.get("mobility", "static")),
     )
     wall_start = time.perf_counter()
     execution = run_live(config)
@@ -60,15 +67,22 @@ def live_run(params: Mapping[str, Any]) -> dict:
     )
     settled = field.settling_time(threshold)
     tail = field.steady_state()
+    stats = execution.fault_stats or {}
+    live = execution.live_stats or {}
+    # Same convention as ``benign-run``: count *delivered* messages, so
+    # crash-suppressed deliveries don't inflate live rows.
+    messages = (
+        len(execution.messages)
+        - stats.get("lost_receiver_down", 0)
+        - stats.get("lost_in_flight", 0)
+    )
     return {
         "topology": config.topology,
         "algorithm": config.algorithm,
         "rates": config.rates,
         "delays": config.delays,
-        "faults": "none",
-        # The runtime has no dynamic-topology support yet; live rows are
-        # static by construction so they line up in merged cell tables.
-        "mobility": "static",
+        "faults": config.faults,
+        "mobility": config.mobility,
         "transport": config.transport,
         "seed": config.seed,
         "n_nodes": int(topology.n),
@@ -82,7 +96,15 @@ def live_run(params: Mapping[str, Any]) -> dict:
         "settle_threshold": threshold,
         "steady_mean_max_skew": float(tail.mean_max_skew),
         "steady_worst_adjacent_skew": float(tail.worst_adjacent_skew),
-        "messages": len(execution.messages),
-        "fault_events": {},
+        "messages": messages,
+        "fault_events": stats,
+        "rewirings": (
+            0
+            if execution.topology_timeline is None
+            else len(execution.topology_timeline) - 1
+        ),
+        # Wire-level drop count (malformed/misdirected frames), distinct
+        # from the injected losses inside ``fault_events``.
+        "frames_dropped": int(live.get("frames_dropped", 0)),
         "wall_elapsed": round(wall_elapsed, 4),
     }

@@ -26,7 +26,15 @@ from repro.errors import RtError
 from repro.sim.clock import HardwareClock, LogicalClock
 from repro.sim.node import NodeAPI, Process
 from repro.sim.rates import PiecewiseConstantRate
-from repro.sim.trace import RECEIVE, SEND, START, TIMER, TraceEvent
+from repro.sim.trace import (
+    CRASH,
+    RECEIVE,
+    RECOVER,
+    SEND,
+    START,
+    TIMER,
+    TraceEvent,
+)
 from repro.topology.base import Topology
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -135,6 +143,20 @@ class LiveNode:
         """Record the TIMER event and run ``on_timer``."""
         self.record(self._event(TIMER, name))
         self.process.on_timer(self.api, name)
+
+    def mark_crash(self) -> None:
+        """Record the CRASH event (the simulator's crash-window semantics).
+
+        While down the node executes nothing — the transport stops
+        dispatching its deliveries and timers; the clocks keep advancing
+        (hardware is physical), matching the simulator's contract.
+        """
+        self.record(self._event(CRASH, None))
+
+    def recover(self) -> None:
+        """Record the RECOVER event and run ``on_recover``."""
+        self.record(self._event(RECOVER, None))
+        self.process.on_recover(self.api)
 
     def _event(self, kind: str, detail) -> TraceEvent:
         t = self.now

@@ -69,8 +69,18 @@ def build_execution(
     logical: dict[int, LogicalClock],
     recorder: LiveRecorder,
     source: str,
+    fault_stats: dict | None = None,
+    topology_timeline: tuple | None = None,
+    live_stats: dict | None = None,
 ) -> Execution:
-    """Assemble the finished live run into a measurable ``Execution``."""
+    """Assemble the finished live run into a measurable ``Execution``.
+
+    ``fault_stats`` and ``topology_timeline`` carry live churn (the
+    router backend runs :class:`~repro.sim.faults.FaultPlan` windows and
+    :class:`~repro.topology.dynamic.DynamicTopology` rewirings on real
+    transports); ``live_stats`` carries transport-level counters such as
+    the aggregate dropped-frame count.
+    """
     return Execution(
         topology=topology,
         duration=duration,
@@ -79,6 +89,8 @@ def build_execution(
         logical=dict(logical),
         trace=ExecutionTrace(list(recorder.events)),
         messages=list(recorder.messages),
-        fault_stats=None,
+        fault_stats=fault_stats,
         source=source,
+        topology_timeline=topology_timeline,
+        live_stats=live_stats,
     )

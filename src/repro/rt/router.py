@@ -1,0 +1,721 @@
+"""Multiplexed transport: many LiveNodes per worker, one router socket.
+
+The UDP backend forks one OS process per node, which caps live runs at
+tens of nodes.  This backend is the scale vehicle: ``n`` nodes are
+sharded round-robin onto a handful of worker processes, each worker
+hosts its shard of :class:`~repro.rt.node.LiveNode` objects inside one
+select/heap event loop, and every frame — the same length-prefixed JSON
+wire format as :mod:`repro.rt.udp` — travels through one central
+*router* socket owned by the parent.  Live runs of hundreds to
+thousands of nodes fit on one machine.
+
+The router is also where live *churn* becomes real: it is the single
+switch every frame crosses, so it enforces the in-force communication
+graph of a :class:`~repro.topology.dynamic.DynamicTopology` (frames on
+links the current snapshot does not have are dropped) and applies
+:class:`~repro.sim.faults.LinkFault` loss/duplication/reordering/down
+windows via the simulator's own :class:`~repro.sim.faults.FaultController`.
+Crash windows are executed node-side: each worker downs and recovers
+its shard's nodes at the plan's instants (recording the same
+CRASH/RECOVER trace events the simulator records and invoking
+``on_recover``), cancels crash-epoch timers, and suppresses deliveries
+to down nodes — so E13/E16-style adversaries run on a real transport.
+
+Division of labor
+-----------------
+* **router (parent)** — wire + network level: malformed frames, comm
+  graph membership at forward time, link loss / duplication / reorder /
+  down windows.  Mid-flight frames of a link that rewired away are
+  dropped at the switch — a slightly *stronger* adversary than the
+  simulator, which lets in-flight messages finish.
+* **workers** — node level: crash/recovery windows, crash-epoch timer
+  cancellation, receiver-down and sender-in-flight delivery loss,
+  mid-run topology swaps visible to ``api.neighbors()``.
+
+Fault counters from both sides are merged into
+``Execution.fault_stats``; wire-level drop counts and events/sec inputs
+land in ``Execution.live_stats``.
+
+Timebase and failure handling follow :mod:`repro.rt.udp`: fork start
+method, ready barrier before the shared CLOCK_MONOTONIC epoch, and
+prompt :class:`RtError` (naming the worker) when a worker process dies
+without reporting.
+"""
+
+from __future__ import annotations
+
+import heapq
+import multiprocessing
+import os
+import random
+import select
+import socket
+import time
+import traceback
+from typing import TYPE_CHECKING, Mapping, Optional
+
+from repro.errors import RtError
+from repro.rt.node import LiveNode
+from repro.rt.recorder import LiveRecorder, build_execution, merge_recorders
+from repro.rt.transport import DELAY_SEED_MIX, Transport
+from repro.rt.udp import (
+    _START_GRACE,
+    _READY_GRACE,
+    _REPORT_GRACE,
+    _untuple,
+    collect_messages,
+    decode_frame,
+    encode_frame,
+    raise_reported_errors,
+    warn_missed_epochs,
+)
+from repro.sim.clock import HardwareClock
+from repro.sim.faults import FaultController, FaultPlan
+from repro.sweep.families import (
+    algorithm_from_spec,
+    delay_policy_from_spec,
+    fault_plan_from_spec,
+    mobility_from_spec,
+    rates_from_spec,
+    topology_from_spec,
+)
+from repro.topology.dynamic import DynamicTopology
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.rt.run import LiveRunConfig
+    from repro.sim.execution import Execution
+
+__all__ = ["RouterWorkerTransport", "run_router", "default_workers"]
+
+#: Mixed into the per-worker delay-RNG salt so worker streams never
+#: collide with the per-node salts the udp backend uses.
+_WORKER_SEED_MIX = 7_777_777
+
+
+def default_workers(n: int) -> int:
+    """Auto worker count: one worker per ~16 nodes, capped by cores.
+
+    Small runs stay in one worker (no multiplexing overhead); large runs
+    fan out to at most ``min(cores, 8)`` workers, each hosting a shard.
+    """
+    cores = os.cpu_count() or 2
+    return max(1, min(cores, 8, (n + 15) // 16))
+
+
+class RouterWorkerTransport(Transport):
+    """The worker side: one event loop hosting a whole shard of nodes.
+
+    Generalizes :class:`~repro.rt.udp.UdpTransport` from one node per
+    process to many: heap entries carry the node they belong to, timers
+    carry the crash epoch they were set in, and crash / recovery /
+    rewiring instants are ordinary heap events (pushed before anything
+    else, so they take the lowest tiebreaks and dispatch before
+    same-instant deliveries or timers — the simulator's ordering).
+    """
+
+    name = "router"
+
+    def __init__(
+        self,
+        *,
+        worker: int,
+        sock: socket.socket,
+        router_port: int,
+        recorder: LiveRecorder,
+        delay_policy,
+        seed: int,
+        duration: float,
+        time_scale: float,
+        plan: Optional[FaultPlan] = None,
+        dynamic: Optional[DynamicTopology] = None,
+    ):
+        self._worker = worker
+        self._sock = sock
+        self._router_addr = ("127.0.0.1", router_port)
+        self._init_messaging(
+            recorder=recorder,
+            delay_policy=delay_policy,
+            delay_rng=random.Random(
+                (seed ^ DELAY_SEED_MIX) * 0x9E37 + _WORKER_SEED_MIX + worker
+            ),
+            seed=seed,
+        )
+        self._duration = duration
+        self._time_scale = time_scale
+        self._plan = plan
+        self._dynamic = dynamic
+        self._epoch_wall: float | None = None
+        self._now = 0.0
+        # Pending (due, tiebreak, kind, data): deliveries, timers, churn.
+        self._pending: list[tuple[float, int, str, tuple]] = []
+        self._tiebreak = 0
+        self._seq_base = 0
+        self._nodes: dict[int, LiveNode] = {}
+        #: Shard nodes currently inside a crash window.
+        self._down: set[int] = set()
+        #: Per-node crash epoch; stale-epoch timers never fire.
+        self._epochs: dict[int, int] = {}
+        #: Crash windows by node — *all* nodes, not just the shard, so
+        #: the in-flight check knows about remote senders' crashes.
+        self._crash_by_node = (
+            {c.node: c for c in plan.crashes} if plan is not None else {}
+        )
+        #: Malformed or misdirected datagrams dropped at the wire.
+        self.frames_dropped = 0
+        #: Callback events dispatched (deliveries + timer firings).
+        self.events_processed = 0
+        #: Node-level fault counters, merged parent-side with the
+        #: router's FaultController stats into Execution.fault_stats.
+        self.stats = {
+            "crashes": 0,
+            "recoveries": 0,
+            "lost_receiver_down": 0,
+            "lost_in_flight": 0,
+            "timers_cancelled": 0,
+        }
+
+    def bind_epoch(self, epoch_wall: float) -> None:
+        """Anchor measured time to the shared CLOCK_MONOTONIC epoch."""
+        self._epoch_wall = epoch_wall
+
+    def _elapsed(self) -> float:
+        return (time.monotonic() - self._epoch_wall) / self._time_scale
+
+    # ------------------------------------------------------------------
+    # Transport interface
+
+    def now(self) -> float:
+        return self._now
+
+    def _message_seq(self, counter: int) -> int:
+        # Node-unique seq without cross-worker coordination: the shared
+        # counter is unique within the worker, the node salt across all.
+        return self._seq_base + counter
+
+    def transmit(self, sender: LiveNode, receiver: int, payload) -> None:
+        self._seq_base = sender.node * 1_000_000
+        message = self._next_message(sender, receiver, payload)
+        if message is None:
+            return
+        frame = encode_frame(
+            {
+                "seq": message.seq,
+                "src": message.sender,
+                "dst": message.receiver,
+                "payload": message.payload,
+                "send": message.send_time,
+                "delay": message.delay,
+            }
+        )
+        self._sock.sendto(frame, self._router_addr)
+
+    def schedule_timer(self, node: LiveNode, fire_at: float, name: str) -> None:
+        self._push(
+            fire_at, "timer",
+            (node.node, name, self._epochs.get(node.node, 0)),
+        )
+
+    def _push(self, due: float, kind: str, data: tuple) -> None:
+        heapq.heappush(self._pending, (due, self._tiebreak, kind, data))
+        self._tiebreak += 1
+
+    # ------------------------------------------------------------------
+    # the shard event loop
+
+    def run(self, nodes: Mapping[int, LiveNode], duration: float) -> None:
+        if self._epoch_wall is None:
+            raise RtError("bind_epoch must be called before run")
+        self._nodes = dict(nodes)
+        down_at_start: set[int] = set()
+        if self._plan is not None:
+            for crash in self._plan.crashes:
+                if crash.node not in self._nodes:
+                    continue
+                if crash.at <= 0.0:
+                    # Down from the start: never begins (mirrors the
+                    # simulator's down preseed).
+                    down_at_start.add(crash.node)
+                    self._down.add(crash.node)
+                    self._epochs[crash.node] = 1
+                    self.stats["crashes"] += 1
+                else:
+                    self._push(crash.at, "crash", (crash.node,))
+                if crash.recover_at is not None:
+                    self._push(crash.recover_at, "recover", (crash.node,))
+        if self._dynamic is not None:
+            for index, t in enumerate(self._dynamic.change_times):
+                if t <= duration:
+                    self._push(t, "topo", (index + 1,))
+        # All STARTs recorded before any on_start runs, in node order —
+        # the simulator's opening order.
+        for node in sorted(self._nodes):
+            if node not in down_at_start:
+                self._nodes[node].record_start()
+        for node in sorted(self._nodes):
+            if node not in down_at_start:
+                self._nodes[node].begin()
+        while True:
+            elapsed = self._elapsed()
+            if elapsed >= duration:
+                break
+            due = self._pending[0][0] if self._pending else duration
+            timeout = max(0.0, (min(due, duration) - elapsed) * self._time_scale)
+            readable, _, _ = select.select([self._sock], [], [], timeout)
+            if readable:
+                self._drain_socket()
+            self._dispatch_due()
+        self._now = duration
+
+    def _drain_socket(self) -> None:
+        while True:
+            try:
+                datagram, _ = self._sock.recvfrom(65536)
+            except BlockingIOError:
+                return
+            record = decode_frame(datagram)
+            if record is None or record.get("dst") not in self._nodes:
+                self.frames_dropped += 1
+                continue
+            deliver_at = float(record["send"]) + float(record["delay"])
+            self._push(
+                deliver_at,
+                "msg",
+                (
+                    int(record["dst"]),
+                    int(record["src"]),
+                    float(record["send"]),
+                    _untuple(record["payload"]),
+                ),
+            )
+
+    def _dispatch_due(self) -> None:
+        while self._pending:
+            due = self._pending[0][0]
+            elapsed = self._elapsed()
+            if due > elapsed or elapsed >= self._duration:
+                return
+            _, _, kind, data = heapq.heappop(self._pending)
+            # Freeze the callback's instant at measured time (>= due when
+            # the OS woke us late), monotone and inside the run.
+            self._now = min(max(self._now, elapsed), self._duration)
+            if kind == "msg":
+                dst, src, send_time, payload = data
+                if self._delivery_lost(src, dst, send_time):
+                    continue
+                self.events_processed += 1
+                self._nodes[dst].deliver(src, payload)
+            elif kind == "timer":
+                node, name, set_epoch = data
+                if node in self._down or set_epoch != self._epochs.get(node, 0):
+                    self.stats["timers_cancelled"] += 1
+                    continue
+                self.events_processed += 1
+                self._nodes[node].fire_timer(name)
+            elif kind == "crash":
+                (node,) = data
+                self._down.add(node)
+                self._epochs[node] = self._epochs.get(node, 0) + 1
+                self.stats["crashes"] += 1
+                self._nodes[node].mark_crash()
+            elif kind == "recover":
+                (node,) = data
+                self._down.discard(node)
+                self.stats["recoveries"] += 1
+                self._nodes[node].recover()
+            else:  # "topo": swap every hosted node onto the new snapshot
+                (index,) = data
+                snapshot = self._dynamic.snapshots[index][1]
+                for live in self._nodes.values():
+                    live.topology = snapshot
+
+    def _delivery_lost(self, src: int, dst: int, send_time: float) -> bool:
+        """Crash-window delivery suppression (the simulator's semantics)."""
+        if dst in self._down:
+            self.stats["lost_receiver_down"] += 1
+            return True
+        crash = self._crash_by_node.get(src)
+        if (
+            crash is not None
+            and crash.lose_in_flight
+            and send_time < crash.at <= self._now
+        ):
+            self.stats["lost_in_flight"] += 1
+            return True
+        return False
+
+
+# ----------------------------------------------------------------------
+# the parent-side router
+
+
+class _RouterCore:
+    """The frame switch: decode, apply network-level churn, forward."""
+
+    def __init__(
+        self,
+        *,
+        topology,
+        plan: Optional[FaultPlan],
+        dynamic: Optional[DynamicTopology],
+        seed: int,
+        time_scale: float,
+        owner: Mapping[int, int],
+        worker_ports: Mapping[int, int],
+    ):
+        self._topology = topology
+        self._dynamic = dynamic
+        self._time_scale = time_scale
+        self._owner = dict(owner)
+        self._addrs = {
+            w: ("127.0.0.1", port) for w, port in worker_ports.items()
+        }
+        # Link-level faults ride the simulator's own controller (loss /
+        # duplication / reorder / down windows + their stats); crash
+        # windows are executed worker-side, so the controller's crash
+        # machinery sits unused here.
+        self._controller = (
+            FaultController(plan, topology, seed) if plan is not None else None
+        )
+        self._edge_cache: dict[int, frozenset] = {}
+        self._epoch_wall: float | None = None
+        self.frames_routed = 0
+        #: Malformed frames or frames for unknown destinations.
+        self.frames_dropped = 0
+        #: Frames dropped because the in-force comm graph lacks the link.
+        self.dropped_no_edge = 0
+
+    def bind_epoch(self, epoch_wall: float) -> None:
+        self._epoch_wall = epoch_wall
+
+    def stats(self) -> dict:
+        merged = dict(self._controller.stats) if self._controller else {}
+        merged["lost_no_edge"] = self.dropped_no_edge
+        return merged
+
+    def _edges(self, topo) -> frozenset:
+        cached = self._edge_cache.get(id(topo))
+        if cached is None:
+            cached = frozenset(
+                (min(i, j), max(i, j)) for i, j in topo.comm_edges
+            )
+            self._edge_cache[id(topo)] = cached
+        return cached
+
+    def handle(self, datagram: bytes, sock: socket.socket) -> None:
+        record = decode_frame(datagram)
+        if record is None:
+            self.frames_dropped += 1
+            return
+        src, dst = record.get("src"), record.get("dst")
+        if dst not in self._owner or src not in self._owner:
+            self.frames_dropped += 1
+            return
+        now = (time.monotonic() - self._epoch_wall) / self._time_scale
+        topo = self._dynamic.at(now) if self._dynamic else self._topology
+        if (min(src, dst), max(src, dst)) not in self._edges(topo):
+            self.dropped_no_edge += 1
+            return
+        addr = self._addrs[self._owner[dst]]
+        if self._controller is None:
+            sock.sendto(datagram, addr)
+            self.frames_routed += 1
+            return
+        send_time = float(record["send"])
+        delay = float(record["delay"])
+        delays = self._controller.outbound_delays(
+            src, dst, send_time, topo.distance(src, dst), delay
+        )
+        for out_delay in delays:
+            out = (
+                datagram
+                if out_delay == delay
+                else encode_frame({**record, "delay": out_delay})
+            )
+            sock.sendto(out, addr)
+            self.frames_routed += 1
+
+
+def _worker_main(
+    worker: int,
+    shard: tuple,
+    cfg: dict,
+    router_port: int,
+    sock: socket.socket,
+    conn,
+) -> None:
+    """Entry point of one worker process (fork-inherited socket)."""
+    try:
+        sock.setblocking(False)
+        topology = topology_from_spec(cfg["topology"])
+        dynamic = mobility_from_spec(
+            cfg["mobility"], topology, seed=cfg["seed"], horizon=cfg["duration"]
+        )
+        base = dynamic.initial if dynamic is not None else topology
+        plan = fault_plan_from_spec(
+            cfg["faults"], base, seed=cfg["seed"], horizon=cfg["duration"]
+        )
+        if plan is not None and plan.is_empty():
+            plan = None
+        processes = algorithm_from_spec(cfg["algorithm"]).processes(base)
+        schedules = rates_from_spec(
+            cfg["rates"], base, rho=cfg["rho"], seed=cfg["seed"],
+            horizon=cfg["duration"],
+        )
+        recorder = LiveRecorder(record_trace=cfg["record_trace"])
+        transport = RouterWorkerTransport(
+            worker=worker,
+            sock=sock,
+            router_port=router_port,
+            recorder=recorder,
+            delay_policy=delay_policy_from_spec(cfg["delays"]),
+            seed=cfg["seed"],
+            duration=cfg["duration"],
+            time_scale=cfg["time_scale"],
+            plan=plan,
+            dynamic=dynamic,
+        )
+        nodes = {
+            node: LiveNode(
+                node,
+                processes[node],
+                topology=base,
+                schedule=schedules[node],
+                rho=cfg["rho"],
+                seed=cfg["seed"],
+                transport=transport,
+                recorder=recorder,
+            )
+            for node in shard
+        }
+        conn.send({"worker": worker, "ready": True})
+        epoch = conn.recv()["epoch"]
+        transport.bind_epoch(epoch)
+        lag = epoch - time.monotonic()
+        if lag > 0:
+            time.sleep(lag)
+        transport.run(nodes, cfg["duration"])
+        conn.send(
+            {
+                "worker": worker,
+                "recorder": recorder,
+                "logical": {node: nodes[node].logical for node in shard},
+                "frames_dropped": transport.frames_dropped,
+                "events": transport.events_processed,
+                "stats": transport.stats,
+                "missed_epoch": lag <= 0,
+            }
+        )
+    except Exception:  # pragma: no cover - surfaced as RtError in the parent
+        conn.send({"worker": worker, "error": traceback.format_exc()})
+    finally:
+        conn.close()
+        sock.close()
+
+
+def _route_and_collect(
+    router_sock: socket.socket,
+    core: _RouterCore,
+    conns: dict,
+    children: dict,
+    deadline: float,
+) -> dict:
+    """Switch frames until every worker has shipped its run report.
+
+    One select loop serves both jobs: frames are forwarded as they
+    arrive, and worker pipes (plus process sentinels) are watched so a
+    dead or wedged worker raises a prompt :class:`RtError` naming it —
+    the same failure contract :func:`~repro.rt.udp.collect_messages`
+    gives the udp backend.
+    """
+    reports: dict[int, dict] = {}
+    pending = dict(conns)
+    while pending:
+        remaining = deadline - time.monotonic()
+        if remaining <= 0:
+            names = ", ".join(str(w) for w in sorted(pending))
+            raise RtError(
+                f"router worker {names} did not report a run report "
+                f"within the wall-clock budget"
+            )
+        watch = [router_sock] + list(pending.values()) + [
+            children[w].sentinel for w in pending
+        ]
+        readable, _, _ = select.select(watch, [], [], remaining)
+        if router_sock in readable:
+            while True:
+                try:
+                    datagram, _ = router_sock.recvfrom(65536)
+                except BlockingIOError:
+                    break
+                core.handle(datagram, router_sock)
+        for w in list(pending):
+            if not pending[w].poll(0):
+                continue
+            try:
+                reports[w] = pending[w].recv()
+            except EOFError:
+                raise RtError(
+                    f"router worker {w} closed its pipe without reporting "
+                    f"(exit code {children[w].exitcode})"
+                ) from None
+            del pending[w]
+        for w in list(pending):
+            if not children[w].is_alive() and not pending[w].poll(0):
+                raise RtError(
+                    f"router worker {w} died with exit code "
+                    f"{children[w].exitcode} before reporting"
+                )
+    return reports
+
+
+def run_router(config: "LiveRunConfig") -> "Execution":
+    """Run one live scenario on the multiplexed router transport."""
+    if "fork" not in multiprocessing.get_all_start_methods():
+        raise RtError(
+            "the router transport needs the 'fork' start method (sockets "
+            "are inherited); use --transport asyncio on this platform"
+        )
+    if multiprocessing.current_process().daemon:
+        raise RtError(
+            "the router transport spawns worker processes, which daemonic "
+            "pool workers may not do; run router cells at workers=1"
+        )
+    ctx = multiprocessing.get_context("fork")
+    topology = topology_from_spec(config.topology)
+    dynamic = mobility_from_spec(
+        config.mobility, topology, seed=config.seed, horizon=config.duration
+    )
+    base = dynamic.initial if dynamic is not None else topology
+    plan = fault_plan_from_spec(
+        config.faults, base, seed=config.seed, horizon=config.duration
+    )
+    if plan is not None and plan.is_empty():
+        plan = None
+    schedules = rates_from_spec(
+        config.rates, base, rho=config.rho, seed=config.seed,
+        horizon=config.duration,
+    )
+    n_workers = config.workers if config.workers > 0 else default_workers(base.n)
+    n_workers = min(n_workers, base.n)
+    all_nodes = tuple(base.nodes)
+    shards = {w: all_nodes[w::n_workers] for w in range(n_workers)}
+    owner = {node: w for w, shard in shards.items() for node in shard}
+    cfg = {
+        "topology": config.topology,
+        "algorithm": config.algorithm,
+        "rates": config.rates,
+        "delays": config.delays,
+        "faults": config.faults,
+        "mobility": config.mobility,
+        "duration": config.duration,
+        "rho": config.rho,
+        "seed": config.seed,
+        "time_scale": config.time_scale,
+        "record_trace": config.record_trace,
+    }
+
+    sockets: dict[int, socket.socket] = {}
+    router_sock = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+    try:
+        router_sock.bind(("127.0.0.1", 0))
+        router_sock.setblocking(False)
+        router_port = router_sock.getsockname()[1]
+        worker_ports: dict[int, int] = {}
+        for w in range(n_workers):
+            sock = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+            sock.bind(("127.0.0.1", 0))
+            sockets[w] = sock
+            worker_ports[w] = sock.getsockname()[1]
+        core = _RouterCore(
+            topology=base,
+            plan=plan,
+            dynamic=dynamic,
+            seed=config.seed,
+            time_scale=config.time_scale,
+            owner=owner,
+            worker_ports=worker_ports,
+        )
+
+        pipes = {w: ctx.Pipe() for w in range(n_workers)}
+        children = {
+            w: ctx.Process(
+                target=_worker_main,
+                args=(w, shards[w], cfg, router_port, sockets[w], pipes[w][1]),
+                daemon=True,
+            )
+            for w in range(n_workers)
+        }
+        for child in children.values():
+            child.start()
+        parent_conns = {w: pipes[w][0] for w in range(n_workers)}
+        for w in range(n_workers):
+            pipes[w][1].close()
+        readies = collect_messages(
+            parent_conns,
+            children,
+            time.monotonic() + _READY_GRACE + 0.02 * base.n,
+            what="ready signal",
+            role="router worker",
+        )
+        raise_reported_errors(readies, role="router worker")
+        epoch = time.monotonic() + _START_GRACE
+        core.bind_epoch(epoch)
+        for w in range(n_workers):
+            try:
+                parent_conns[w].send({"epoch": epoch})
+            except BrokenPipeError:  # pragma: no cover - death race
+                pass
+        budget = _START_GRACE + config.duration * config.time_scale + _REPORT_GRACE
+        reports = _route_and_collect(
+            router_sock, core, parent_conns, children,
+            time.monotonic() + budget,
+        )
+        for child in children.values():
+            child.join(timeout=5.0)
+    finally:
+        router_sock.close()
+        for sock in sockets.values():
+            sock.close()
+        for child in list(locals().get("children", {}).values()):
+            if child.is_alive():  # pragma: no cover - crash cleanup
+                child.terminate()
+
+    raise_reported_errors(reports, role="router worker")
+    warn_missed_epochs(reports, role="router worker")
+
+    recorder = merge_recorders([reports[w]["recorder"] for w in sorted(reports)])
+    logical = {}
+    for w in sorted(reports):
+        logical.update(reports[w]["logical"])
+
+    churny = plan is not None or (dynamic is not None and not dynamic.is_static())
+    fault_stats = None
+    if churny:
+        fault_stats = core.stats()
+        for report in reports.values():
+            for key, value in report["stats"].items():
+                fault_stats[key] = fault_stats.get(key, 0) + value
+    timeline = None
+    if dynamic is not None and not dynamic.is_static():
+        timeline = tuple(
+            (t, topo) for t, topo in dynamic.snapshots if t <= config.duration
+        )
+    live_stats = {
+        "workers": n_workers,
+        "frames_routed": core.frames_routed,
+        "frames_dropped": core.frames_dropped
+        + sum(r.get("frames_dropped", 0) for r in reports.values()),
+        "events": sum(r.get("events", 0) for r in reports.values()),
+    }
+    return build_execution(
+        topology=base,
+        duration=config.duration,
+        rho=config.rho,
+        hardware={n: HardwareClock(schedules[n], config.rho) for n in base.nodes},
+        logical=logical,
+        recorder=recorder,
+        source="live-router",
+        fault_stats=fault_stats,
+        topology_timeline=timeline,
+        live_stats=live_stats,
+    )

@@ -38,6 +38,14 @@ class LiveRunConfig:
 
     ``time_scale`` (wall seconds per simulation unit) only matters to
     the wall-clock backends; the virtual backend ignores it.
+
+    Live churn — ``faults`` (a :mod:`repro.sim.faults` family spec such
+    as ``"crash-recover:0.25,5"``) and ``mobility`` (a dynamic-topology
+    family such as ``"blinking:0.2,2"``) — is implemented only by the
+    ``router`` backend, whose central switch and multiplexed workers can
+    drop/reroute frames and down/recover nodes mid-run; the other
+    backends accept only the fault-free defaults.  ``workers`` sizes the
+    router's process pool (``0`` = auto, about one worker per 16 nodes).
     """
 
     topology: str = "line:8"
@@ -50,6 +58,9 @@ class LiveRunConfig:
     transport: str = "virtual"
     time_scale: float = 0.1
     record_trace: bool = True
+    faults: str = "none"
+    mobility: str = "static"
+    workers: int = 0
 
     def __post_init__(self) -> None:
         if self.transport not in TRANSPORT_NAMES:
@@ -61,6 +72,21 @@ class LiveRunConfig:
             raise RtError(f"duration must be positive, got {self.duration}")
         if self.time_scale <= 0:
             raise RtError(f"time_scale must be positive, got {self.time_scale}")
+        if self.workers < 0:
+            raise RtError(f"workers must be >= 0, got {self.workers}")
+        if self.transport != "router":
+            if self.faults != "none":
+                raise RtError(
+                    f"transport {self.transport!r} cannot inject faults "
+                    f"(faults={self.faults!r}); live churn needs "
+                    f"transport='router'"
+                )
+            if self.mobility != "static":
+                raise RtError(
+                    f"transport {self.transport!r} cannot rewire mid-run "
+                    f"(mobility={self.mobility!r}); live churn needs "
+                    f"transport='router'"
+                )
 
 
 def run_live(config: LiveRunConfig) -> Execution:
@@ -69,6 +95,10 @@ def run_live(config: LiveRunConfig) -> Execution:
         from repro.rt.udp import run_udp
 
         return run_udp(config)
+    if config.transport == "router":
+        from repro.rt.router import run_router
+
+        return run_router(config)
 
     topology = topology_from_spec(config.topology)
     algorithm = algorithm_from_spec(config.algorithm)

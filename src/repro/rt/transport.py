@@ -6,14 +6,17 @@ nodes): it defines the current real time, it carries messages subject to
 the ``[0, d_ij]`` delay model, and it fires hardware-time timers.  The
 node side of the contract is :class:`~repro.rt.node.LiveNode`.
 
-Three backends implement it:
+Four backends implement it:
 
 * :class:`~repro.rt.virtual.VirtualTimeTransport` — a deterministic
   scheduler on virtual time (the simulator's event loop, re-hosted);
 * :class:`~repro.rt.asyncio_transport.InProcAsyncioTransport` — real
   wall-clock asyncio tasks in one process, with injected delays;
 * :mod:`repro.rt.udp` — one OS process per node over localhost UDP with
-  a length-prefixed JSON wire format.
+  a length-prefixed JSON wire format;
+* :mod:`repro.rt.router` — many nodes multiplexed onto a few worker
+  processes exchanging the same frames through one central router
+  socket, which also applies live churn (crash windows, rewirings).
 
 Delays are *injected* on every backend: a
 :class:`~repro.sim.messages.DelayPolicy` draws each message's delay from
@@ -41,7 +44,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 __all__ = ["Transport", "TRANSPORT_NAMES", "DELAY_SEED_MIX"]
 
 #: The transport spec names accepted by the CLI, sweep axis, and E14.
-TRANSPORT_NAMES = ("virtual", "asyncio", "udp")
+TRANSPORT_NAMES = ("virtual", "asyncio", "udp", "router")
 
 #: Delay-RNG seed mix, identical to the simulator's (``seed ^ 0x5EED``)
 #: so the virtual backend draws the very same delay stream.
@@ -51,7 +54,7 @@ DELAY_SEED_MIX = 0x5EED
 class Transport(ABC):
     """What the environment does for live nodes: time, messages, timers."""
 
-    #: Spec-string name of the backend ("virtual", "asyncio", "udp").
+    #: Spec-string name of the backend (one of :data:`TRANSPORT_NAMES`).
     name: str = "abstract"
 
     # ------------------------------------------------------------------

@@ -21,9 +21,12 @@ receiver restores lists to tuples (every algorithm in
 
 Timebase
 --------
-The parent picks one CLOCK_MONOTONIC epoch and ships it to every child;
+The parent waits for every child to report ready (the barrier absorbs
+fork + construction lag, however large n gets), then picks one
+CLOCK_MONOTONIC epoch a short grace ahead and ships it to every child;
 ``time.monotonic()`` is system-wide on Linux, so all hosts agree on
-"simulation time 0" to scheduler precision.  Each child realizes its
+"simulation time 0" to scheduler precision.  A child that still misses
+the epoch reports the fact and the parent warns.  Each child realizes its
 assigned drift schedule with ``HostClock.from_schedule`` and injects
 model-band message delays (sender-drawn, carried on the wire; the
 receiver holds each datagram until its delivery instant).  After the
@@ -46,6 +49,8 @@ import socket
 import struct
 import time
 import traceback
+import warnings
+from multiprocessing.connection import wait as _mp_wait
 from typing import TYPE_CHECKING, Mapping
 
 from repro.errors import RtError
@@ -65,12 +70,29 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.rt.run import LiveRunConfig
     from repro.sim.execution import Execution
 
-__all__ = ["UdpTransport", "run_udp", "encode_frame", "decode_frame"]
+__all__ = [
+    "UdpTransport",
+    "run_udp",
+    "encode_frame",
+    "decode_frame",
+    "collect_messages",
+    "raise_reported_errors",
+    "warn_missed_epochs",
+]
 
 _LEN = struct.Struct(">I")
 
-#: Wall seconds between process launch and the shared start epoch.
-_START_GRACE = 0.35
+#: Wall seconds between the ready barrier and the shared start epoch.
+#: Every child has already built its node and is blocked on its pipe by
+#: the time the parent publishes the epoch, so this only needs to cover
+#: pipe latency — not fork + construction lag, which the barrier absorbs
+#: (the old fixed pre-barrier grace silently desynchronized starts once
+#: n grew past a few dozen nodes).
+_START_GRACE = 0.25
+
+#: Base wall seconds the parent grants children to build themselves and
+#: report ready; scaled up with node count by the callers.
+_READY_GRACE = 10.0
 
 #: Extra wall seconds the parent waits for children past the horizon.
 _REPORT_GRACE = 10.0
@@ -230,7 +252,103 @@ class UdpTransport(Transport):
 
 
 # ----------------------------------------------------------------------
-# parent-side orchestration
+# parent-side orchestration (shared with the router backend)
+
+
+def collect_messages(
+    conns: Mapping,
+    children: Mapping,
+    deadline: float,
+    *,
+    what: str,
+    role: str = "node process",
+) -> dict:
+    """Receive one message from every pipe, failing fast on dead peers.
+
+    ``conns`` and ``children`` map the same keys to pipe connections and
+    child processes.  Each child's liveness is watched alongside its
+    pipe via :func:`multiprocessing.connection.wait`, so a process that
+    dies without reporting raises a prompt, descriptive :class:`RtError`
+    naming it (and its exit code) instead of blocking out the whole time
+    budget.  EOF on a pipe — where ``poll()`` returns True but
+    ``recv()`` raises ``EOFError`` — is translated the same way instead
+    of escaping raw.
+    """
+    pending = dict(conns)
+    out: dict = {}
+    while pending:
+        remaining = deadline - time.monotonic()
+        if remaining <= 0:
+            names = ", ".join(str(key) for key in sorted(pending))
+            raise RtError(
+                f"{role} {names} did not report a {what} within the "
+                f"wall-clock budget"
+            )
+        watch = list(pending.values()) + [
+            children[key].sentinel for key in pending if key in children
+        ]
+        if not _mp_wait(watch, timeout=remaining):
+            continue  # spurious wakeup; the loop re-checks the deadline
+        progressed = False
+        for key in list(pending):
+            conn = pending[key]
+            if not conn.poll(0):
+                continue
+            try:
+                out[key] = conn.recv()
+            except EOFError:
+                child = children.get(key)
+                code = None if child is None else child.exitcode
+                raise RtError(
+                    f"{role} {key} closed its pipe without reporting a "
+                    f"{what} (exit code {code})"
+                ) from None
+            del pending[key]
+            progressed = True
+        if progressed:
+            continue
+        # Only sentinels fired: someone died without writing a report.
+        # (A child that reported and then exited was drained above; the
+        # poll(0) guard covers the report-then-die race.)
+        for key in list(pending):
+            child = children.get(key)
+            if (
+                child is not None
+                and not child.is_alive()
+                and not pending[key].poll(0)
+            ):
+                raise RtError(
+                    f"{role} {key} died with exit code {child.exitcode} "
+                    f"before reporting a {what}"
+                )
+    return out
+
+
+def raise_reported_errors(reports: Mapping, *, role: str = "node process") -> None:
+    """Re-raise the first child-side exception shipped home over a pipe."""
+    errors = {key: r["error"] for key, r in reports.items() if "error" in r}
+    if errors:
+        key, trace = sorted(errors.items())[0]
+        raise RtError(f"{role} {key} failed:\n{trace}")
+
+
+def warn_missed_epochs(reports: Mapping, *, role: str = "node process") -> None:
+    """Warn when any peer started after the shared epoch had passed.
+
+    With the ready barrier in place this should not happen; if it does
+    (extreme scheduler pressure), skew measurements are offset by the
+    late start and the run must not pass silently.
+    """
+    missed = sorted(key for key, r in reports.items() if r.get("missed_epoch"))
+    if missed:
+        names = ", ".join(str(key) for key in missed)
+        warnings.warn(
+            f"{role} {names} missed the shared start epoch (lag exceeded "
+            f"the {_START_GRACE}s post-barrier grace); clocks started "
+            f"late and skew measurements may be offset",
+            RuntimeWarning,
+            stacklevel=3,
+        )
 
 
 def _node_main(node: int, cfg: dict, ports: dict, sock: socket.socket, conn) -> None:
@@ -243,6 +361,9 @@ def _node_main(node: int, cfg: dict, ports: dict, sock: socket.socket, conn) -> 
             cfg["rates"], topology, rho=cfg["rho"], seed=cfg["seed"],
             horizon=cfg["duration"],
         )[node]
+        # Everything expensive is built; tell the parent we are ready
+        # and block until it publishes the shared epoch.
+        conn.send({"node": node, "ready": True})
         epoch = conn.recv()["epoch"]
         host = HostClock.from_schedule(
             schedule, rho=cfg["rho"], time_scale=cfg["time_scale"], origin=epoch
@@ -279,6 +400,7 @@ def _node_main(node: int, cfg: dict, ports: dict, sock: socket.socket, conn) -> 
                 "recorder": recorder,
                 "logical": live.logical,
                 "frames_dropped": transport.frames_dropped,
+                "missed_epoch": lag <= 0,
             }
         )
     except Exception:  # pragma: no cover - surfaced as RtError in the parent
@@ -338,21 +460,31 @@ def run_udp(config: "LiveRunConfig") -> "Execution":
         }
         for child in children.values():
             child.start()
+        parent_conns = {node: pipes[node][0] for node in topology.nodes}
+        for node in topology.nodes:
+            # Close the parent's copy of the child end: a dead child now
+            # surfaces as EOF on the parent's pipe instead of a hang.
+            pipes[node][1].close()
+        # Ready barrier: every child finishes building its node *before*
+        # the epoch is published, so the start grace no longer races
+        # fork + construction lag (which grows with n).
+        readies = collect_messages(
+            parent_conns,
+            children,
+            time.monotonic() + _READY_GRACE + 0.05 * topology.n,
+            what="ready signal",
+        )
+        raise_reported_errors(readies)
         epoch = time.monotonic() + _START_GRACE
         for node in topology.nodes:
-            pipes[node][0].send({"epoch": epoch})
-
+            try:
+                parent_conns[node].send({"epoch": epoch})
+            except BrokenPipeError:  # pragma: no cover - death race
+                pass  # surfaced as a prompt RtError by the collection below
         budget = _START_GRACE + config.duration * config.time_scale + _REPORT_GRACE
-        deadline = time.monotonic() + budget
-        reports: dict[int, dict] = {}
-        for node in topology.nodes:
-            parent_conn = pipes[node][0]
-            remaining = deadline - time.monotonic()
-            if remaining <= 0 or not parent_conn.poll(remaining):
-                raise RtError(
-                    f"node process {node} did not report within {budget:.1f}s"
-                )
-            reports[node] = parent_conn.recv()
+        reports = collect_messages(
+            parent_conns, children, time.monotonic() + budget, what="run report"
+        )
         for child in children.values():
             child.join(timeout=5.0)
     finally:
@@ -362,11 +494,8 @@ def run_udp(config: "LiveRunConfig") -> "Execution":
             if child.is_alive():  # pragma: no cover - crash cleanup
                 child.terminate()
 
-    errors = {n: r["error"] for n, r in reports.items() if "error" in r}
-    if errors:
-        node, trace = sorted(errors.items())[0]
-        raise RtError(f"node process {node} failed:\n{trace}")
-
+    raise_reported_errors(reports)
+    warn_missed_epochs(reports)
     recorder = merge_recorders([reports[n]["recorder"] for n in topology.nodes])
     return build_execution(
         topology=topology,
@@ -376,4 +505,10 @@ def run_udp(config: "LiveRunConfig") -> "Execution":
         logical={n: reports[n]["logical"] for n in topology.nodes},
         recorder=recorder,
         source="live-udp",
+        live_stats={
+            "frames_dropped": sum(
+                r.get("frames_dropped", 0) for r in reports.values()
+            ),
+            "processes": len(children),
+        },
     )

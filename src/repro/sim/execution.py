@@ -53,6 +53,12 @@ class Execution:
     #: queries, :func:`repro.gcs.properties.check_gradient`) evaluate
     #: against the network live at each instant.
     topology_timeline: tuple[tuple[float, Topology], ...] | None = None
+    #: Transport-level counters of a :mod:`repro.rt` run (aggregate
+    #: ``frames_dropped``, router ``frames_routed``/``events``, worker
+    #: count, ...); ``None`` for simulator runs.  Dropped frames are
+    #: wire-level losses (malformed or misdirected datagrams), distinct
+    #: from the *injected* losses counted in :attr:`fault_stats`.
+    live_stats: dict | None = None
 
     # ------------------------------------------------------------------
     # topology queries

@@ -60,7 +60,7 @@ def build_parser() -> argparse.ArgumentParser:
             "comma-separated mobility families (override preset), e.g. "
             "'static,waypoint:0.5,blink:0.3,8' (a comma starts a new "
             "family only before a name, so numeric arguments stay "
-            "intact); non-static families need --transports sim"
+            "intact); non-static families need --transports sim/router"
         ),
     )
     parser.add_argument(
@@ -68,7 +68,8 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "comma-separated execution backends per cell: 'sim' "
             "(simulator) and/or live transports 'virtual', 'asyncio', "
-            "'udp' (override preset; udp cells need --workers 1)"
+            "'udp', 'router' (override preset; udp/router cells need "
+            "--workers 1)"
         ),
     )
     parser.add_argument(
@@ -145,12 +146,13 @@ def main(argv: list[str] | None = None) -> int:
     except (OSError, json.JSONDecodeError, SweepError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    if "udp" in spec.transports and args.workers > 1:
-        # Detectable before any work: udp cells spawn node processes,
-        # which daemonic pool workers may not do.
+    forking = sorted({"udp", "router"} & set(spec.transports))
+    if forking and args.workers > 1:
+        # Detectable before any work: udp/router cells spawn OS
+        # processes, which daemonic pool workers may not do.
         print(
-            "error: udp transport cells need --workers 1 (node processes "
-            "cannot be spawned from daemonic pool workers)",
+            f"error: {'/'.join(forking)} transport cells need --workers 1 "
+            "(node processes cannot be spawned from daemonic pool workers)",
             file=sys.stderr,
         )
         return 2

@@ -48,7 +48,11 @@ __all__ = [
 #: Bump when a job kind's semantics change, to invalidate stale caches.
 #: v5: benign-run grows the mobility axis (params + metrics carry
 #: ``mobility``; dynamic cells also report ``rewirings``).
-CACHE_VERSION = 5
+#: v6: live-run grows the churn axes (params carry ``faults`` +
+#: ``mobility``; metrics add ``frames_dropped``, ``rewirings``, and real
+#: ``fault_events``) and the udp/router timebase moved to a ready
+#: barrier, which shifts wall-clock jitter enough to invalidate rows.
+CACHE_VERSION = 6
 
 #: kind name -> (callable, defining module name)
 _JOB_KINDS: Dict[str, tuple[Callable[[Mapping[str, Any]], dict], str]] = {}

@@ -51,11 +51,12 @@ class SweepSpec:
     The ``transports`` axis selects the execution engine per cell:
     ``"sim"`` (the discrete-event simulator, a ``benign-run`` job) or a
     live backend from :data:`repro.rt.transport.TRANSPORT_NAMES`
-    (``"virtual"``, ``"asyncio"``, ``"udp"`` — a ``live-run`` job).
-    Live cells ignore the fault axis (the runtime has no fault plans
-    yet), so a grid mixing faults and live transports is rejected; the
-    same holds for non-static mobility families (the runtime has no
-    dynamic topologies yet).
+    (``"virtual"``, ``"asyncio"``, ``"udp"``, ``"router"`` — a
+    ``live-run`` job).  Of the live backends only ``"router"``
+    implements churn (its central switch applies fault plans and
+    rewirings to real frames), so a grid naming non-default faults or
+    mobilities may combine them with ``"sim"`` and ``"router"`` cells
+    but is rejected if it also names a churnless live backend.
 
     The ``mobilities`` axis selects the dynamic-topology family per cell
     (:data:`repro.sweep.families.MOBILITY_FAMILIES`): ``"static"`` runs
@@ -135,15 +136,20 @@ class SweepSpec:
                     f"unknown transport {spec!r}; backends: "
                     f"['sim', {', '.join(repr(t) for t in TRANSPORT_NAMES)}]"
                 )
-        if live and any(f != "none" for f in self.fault_families):
+        # Of the live backends only the router implements churn; a grid
+        # may combine faults/mobility with sim and router cells, but a
+        # churnless live backend in the same grid is rejected.
+        churnless = [t for t in live if t != "router"]
+        if churnless and any(f != "none" for f in self.fault_families):
             raise SweepError(
-                "live transports have no fault support; keep "
-                "fault_families=('none',) when sweeping transports"
+                f"live transports {churnless} have no fault support; keep "
+                "fault_families=('none',) or sweep transport='router'"
             )
-        if live and any(m != "static" for m in self.mobilities):
+        if churnless and any(m != "static" for m in self.mobilities):
             raise SweepError(
-                "live transports have no dynamic-topology support; keep "
-                "mobilities=('static',) when sweeping transports"
+                f"live transports {churnless} have no dynamic-topology "
+                "support; keep mobilities=('static',) or sweep "
+                "transport='router'"
             )
 
     @property
@@ -208,6 +214,8 @@ class SweepSpec:
                             "algorithm": algorithm,
                             "rates": rates,
                             "delays": delays,
+                            "faults": faults,
+                            "mobility": mobility,
                             "transport": transport,
                             "seed": int(seed),
                             "duration": self.duration,

@@ -69,9 +69,25 @@ class TestTransportAxis:
         with pytest.raises(SweepError):
             _spec(transports=("sim", "telepathy")).jobs()
 
-    def test_live_cells_with_faults_rejected(self):
+    def test_churnless_live_cells_with_faults_rejected(self):
         with pytest.raises(SweepError):
             _spec(fault_families=("none", "loss:0.2")).jobs()
+
+    def test_churnless_live_cells_with_mobility_rejected(self):
+        with pytest.raises(SweepError):
+            _spec(mobilities=("static", "blink:0.2,2")).jobs()
+
+    def test_router_cells_accept_faults_and_mobility(self):
+        jobs = _spec(
+            transports=("sim", "router"),
+            fault_families=("crash-recover:0.25,5",),
+            mobilities=("blink:0.2,2",),
+        ).jobs()
+        assert [j.kind for j in jobs] == ["benign-run", "live-run"]
+        live = jobs[1]
+        assert live.params["transport"] == "router"
+        assert live.params["faults"] == "crash-recover:0.25,5"
+        assert live.params["mobility"] == "blink:0.2,2"
 
     def test_size_counts_transport_axis(self):
         assert _spec().size == 2
@@ -94,6 +110,19 @@ class TestTransportAxis:
         )
         assert code == 2
         assert "--workers 1" in capsys.readouterr().err
+
+    def test_cli_rejects_router_cells_with_pool_workers(self, capsys):
+        from repro.sweep.cli import main as sweep_main
+
+        code = sweep_main(
+            ["--topologies", "line:4", "--algorithms", "gradient",
+             "--transports", "router", "--seeds", "1", "--duration", "4",
+             "--workers", "2"]
+        )
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "--workers 1" in err
+        assert "router" in err
 
 
 class TestLiveRunJobs:
@@ -147,7 +176,9 @@ class TestE14:
         cells = result.data["cells"]
         assert set(cells) == {"gradient", "averaging"}
         for algorithm, backends in cells.items():
-            assert set(backends) == {"sim", "virtual", "asyncio", "udp"}
+            assert set(backends) == {
+                "sim", "virtual", "asyncio", "udp", "router"
+            }
             # The virtual backend replays the simulator exactly.
             assert backends["virtual"]["delta_vs_sim"] <= result.data[
                 "virtual_tolerance"
@@ -155,6 +186,12 @@ class TestE14:
             # Every backend stays inside the diameter+1 gradient budget.
             for cell in backends.values():
                 assert cell["bounded"]
+        # The router node-count ladder rode along (quick rungs only).
+        ladder = result.data["ladder"]
+        assert [cell["topology"] for cell in ladder] == ["line:8", "line:32"]
+        assert all(cell["bounded"] for cell in ladder)
+        assert all(cell["events_per_sec"] > 0 for cell in ladder)
         rendered = result.render()
         assert "d final vs sim" in rendered
+        assert "scale ladder" in rendered
         assert " NO " not in rendered
