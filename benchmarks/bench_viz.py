@@ -1,0 +1,82 @@
+"""Viz rendering throughput: heatmap cells/second and dashboard latency.
+
+Rendering is pure string assembly, so throughput is the one performance
+property worth guarding: a dashboard over a big run is O(cells) rect
+elements, and a regression here turns sweep reporting from instant into
+minutes.  Records the headline numbers to ``BENCH_viz.json`` with a
+sanity floor on cells/second.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+import xml.etree.ElementTree as ET
+
+import numpy as np
+import pytest
+
+from conftest import write_headline
+from repro.viz.cli import run_scenario
+from repro.viz.dashboard import skew_dashboard
+from repro.viz.panels import heatmap_panel
+from repro.viz.svg import SvgCanvas
+
+#: Sanity floor: string-assembly rendering must stay at least this fast.
+#: The measured rate on a development container is ~10x higher, so a
+#: breach means an accidental per-cell inefficiency, not machine noise.
+MIN_CELLS_PER_SEC = 20_000.0
+
+ROWS, COLS = 48, 256
+
+
+@pytest.mark.benchmark(group="viz")
+def test_heatmap_cells_per_second(benchmark):
+    rng = np.random.default_rng(0)
+    matrix = rng.random((ROWS, COLS))
+
+    def render() -> int:
+        canvas = SvgCanvas(900, 500)
+        cells = heatmap_panel(canvas, 60, 40, 780, 400, matrix)
+        svg = canvas.to_string()
+        assert svg
+        return cells
+
+    cells = benchmark.pedantic(render, rounds=3, iterations=1, warmup_rounds=1)
+    elapsed = benchmark.stats.stats.mean
+    rate = cells / elapsed
+
+    start = time.perf_counter()
+    execution = run_scenario(
+        topology="line:64", algorithm="gradient",
+        faults="crash-recover:0.25,3", mobility="waypoint:0.5",
+        duration=8.0, seed=2,
+    )
+    sim_s = time.perf_counter() - start
+    start = time.perf_counter()
+    dashboard = skew_dashboard(execution)
+    dash_s = time.perf_counter() - start
+    ET.fromstring(dashboard)
+
+    print(
+        f"\nheatmap: {cells} cells in {elapsed * 1e3:.2f} ms "
+        f"-> {rate:,.0f} cells/s; 64-node dashboard: "
+        f"{dash_s * 1e3:.1f} ms render ({sim_s:.2f} s simulate)"
+    )
+    write_headline(
+        "viz",
+        {
+            "heatmap_rows": ROWS,
+            "heatmap_cols": COLS,
+            "heatmap_cells_per_sec": round(rate),
+            "min_cells_per_sec": MIN_CELLS_PER_SEC,
+            "dashboard_nodes": 64,
+            "dashboard_render_s": round(dash_s, 4),
+            "dashboard_bytes": len(dashboard),
+        },
+    )
+    assert rate >= MIN_CELLS_PER_SEC
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(pytest.main([__file__, "-q", "-s"]))

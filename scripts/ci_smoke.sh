@@ -6,10 +6,14 @@
 # regression, and the E14 sim-vs-live table), then the batched-vs-scalar
 # engine
 # differential check, the scale experiment E15, the mobility experiment
-# E16 (dynamic topologies end-to-end), the docs step (module doctests +
-# markdown link check), and the engine/analysis benchmarks
-# (bench_analysis records BENCH_analysis.json, bench_sim BENCH_sim.json
-# with its >= 5x at-scale speedup floor).
+# E16 (dynamic topologies end-to-end), the observability layer
+# (repro.viz: a headless dashboard + mobility animation, the sweep
+# report artifact, and a live router run streaming rolling tail
+# panels), the docs step (module doctests + markdown link check), and
+# the engine/analysis benchmarks (bench_analysis records
+# BENCH_analysis.json, bench_sim BENCH_sim.json with its >= 5x
+# at-scale speedup floor, bench_viz BENCH_viz.json with its rendering
+# cells/second floor).
 #
 # Usage: bash scripts/ci_smoke.sh
 # Documented in README.md ("Tests and benchmarks").
@@ -117,6 +121,32 @@ grep -q "2 mobility families" "$ARTIFACTS/mobility_sweep.txt" \
     || { echo "error: sweep CLI did not expand the mobility axis" >&2; exit 1; }
 
 echo
+echo "== observability (repro.viz) =="
+# A dashboard + mobility animation from a faulted mobile run, rendered
+# headlessly (no display, stdlib-only SVG).
+python -m repro.experiments viz dashboard --topology line:16 --alg gradient \
+    --faults crash-recover:0.25,3 --mobility waypoint:0.5 --duration 8 \
+    --seed 2 --out "$ARTIFACTS/viz" > "$ARTIFACTS/viz.txt"
+test -s "$ARTIFACTS/viz/dashboard.svg" \
+    || { echo "error: viz dashboard wrote no dashboard.svg" >&2; exit 1; }
+test -s "$ARTIFACTS/viz/mobility.svg" \
+    || { echo "error: viz dashboard wrote no mobility.svg" >&2; exit 1; }
+# The sweep artifact from the first step, rendered as a report.
+python -m repro.experiments viz report "$ARTIFACTS/sweep.json" \
+    --out "$ARTIFACTS/viz" >> "$ARTIFACTS/viz.txt"
+test -s "$ARTIFACTS/viz/report.svg" \
+    || { echo "error: viz report wrote no report.svg" >&2; exit 1; }
+# A live router run with the streaming tail attached: rolling panels
+# are written into the directory *while* the run is still going.
+timeout 30 python -m repro.experiments live --alg gradient --topology ring \
+    --nodes 8 --transport router --duration 4 --time-scale 0.05 \
+    --tail "$ARTIFACTS/tail" > "$ARTIFACTS/live_tail.txt"
+grep -q "tail frames streamed" "$ARTIFACTS/live_tail.txt" \
+    || { echo "error: live --tail reported no streamed frames" >&2; exit 1; }
+ls "$ARTIFACTS/tail"/tail_*.svg > /dev/null 2>&1 \
+    || { echo "error: live --tail wrote no rolling panels" >&2; exit 1; }
+
+echo
 echo "== docs: module doctests + markdown link check =="
 # Every module docstring example is runnable documentation; the paths
 # below are the modules the docs contract names (repro.topology.* and
@@ -167,6 +197,12 @@ echo "== router scale-ladder benchmark (writes BENCH_rt.json) =="
 python benchmarks/bench_rt_router.py
 test -s BENCH_rt.json \
     || { echo "error: bench_rt_router wrote no BENCH_rt.json" >&2; exit 1; }
+
+echo
+echo "== viz rendering benchmark (writes BENCH_viz.json) =="
+python benchmarks/bench_viz.py
+test -s BENCH_viz.json \
+    || { echo "error: bench_viz wrote no BENCH_viz.json" >&2; exit 1; }
 
 echo
 echo "ci_smoke: all green"

@@ -6,14 +6,16 @@ README = Path(__file__).parent / "README.md"
 
 setup(
     name="repro-gradient-clock-sync",
-    version="1.4.0",
+    version="1.5.0",
     description=(
         "Executable reproduction of 'Gradient Clock Synchronization' "
         "(Fan & Lynch, PODC 2004): simulator, lower-bound adversaries, "
         "experiments E01-E16, a parallel scenario-sweep engine, a "
         "dynamic-topology & mobility subsystem, a live runtime "
-        "(virtual-time / asyncio / UDP transports), and a batched "
-        "simulation engine byte-identical to the scalar event loop"
+        "(virtual-time / asyncio / UDP transports), a batched "
+        "simulation engine byte-identical to the scalar event loop, "
+        "and a stdlib-only SVG observability layer (dashboards, "
+        "mobility animations, live streaming tails, sweep reports)"
     ),
     long_description=README.read_text() if README.exists() else "",
     long_description_content_type="text/markdown",
@@ -33,6 +35,7 @@ setup(
         "console_scripts": [
             "repro-experiments = repro.experiments.cli:main",
             "repro-live = repro.rt.cli:main",
+            "repro-viz = repro.viz.cli:main",
         ],
     },
     classifiers=[

@@ -1,15 +1,18 @@
-"""Command-line entry point: ``python -m repro.experiments [ids|sweep|live]``.
+"""Entry point: ``python -m repro.experiments [ids|sweep|live|viz]``.
 
-Three verbs share the entry point: bare experiment ids (``E01``..``E16``)
+Four verbs share the entry point: bare experiment ids (``E01``..``E16``)
 run individual reproductions, ``sweep`` dispatches to the parallel
-scenario-sweep engine (:mod:`repro.sweep.cli`), and ``live`` runs an
+scenario-sweep engine (:mod:`repro.sweep.cli`), ``live`` runs an
 algorithm on a real transport through the live runtime
-(:mod:`repro.rt.cli`)::
+(:mod:`repro.rt.cli`), and ``viz`` renders SVG figures from scenarios,
+sweep artifacts, and experiments (:mod:`repro.viz.cli`)::
 
     python -m repro.experiments E03 E05 --workers 4
+    python -m repro.experiments E02 --report figures/
     python -m repro.experiments sweep --quick --workers 4
     python -m repro.experiments live --alg gradient --topology line \\
         --nodes 8 --transport virtual
+    python -m repro.experiments viz dashboard --topology grid:4,4
 """
 
 from __future__ import annotations
@@ -52,6 +55,10 @@ def main(argv: list[str] | None = None) -> int:
         from repro.rt.cli import main as live_main
 
         return live_main(argv[1:])
+    if argv and argv[0] == "viz":
+        from repro.viz.cli import main as viz_main
+
+        return viz_main(argv[1:])
 
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
@@ -84,6 +91,10 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--list", action="store_true", help="list experiments and exit"
     )
+    parser.add_argument(
+        "--report", metavar="DIR", default=None,
+        help="also chart each experiment's tables as <id>.svg under DIR",
+    )
     args = parser.parse_args(argv)
 
     if args.list:
@@ -109,6 +120,18 @@ def main(argv: list[str] | None = None) -> int:
             print(f"error: {exc}", file=sys.stderr)
             return 2
         print(result.render())
+        if args.report:
+            from pathlib import Path
+
+            from repro.viz.report import experiment_report
+
+            svg = experiment_report(result)
+            if svg is not None:
+                out = Path(args.report)
+                out.mkdir(parents=True, exist_ok=True)
+                path = out / f"{experiment_id.lower()}.svg"
+                path.write_text(svg, encoding="utf-8")
+                print(f"wrote {path}")
         print(f"[{experiment_id} took {time.time() - start:.1f}s]")
         print()
     return 0

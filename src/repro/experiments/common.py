@@ -35,7 +35,14 @@ Scale = str
 
 @dataclass
 class ExperimentResult:
-    """What an experiment produced: tables to print + raw data."""
+    """What an experiment produced: tables to print + raw data.
+
+    ``figures`` optionally declares how :mod:`repro.viz` should chart
+    the tables — a list of specs like ``{"table": 0, "x": "n",
+    "y": ["max skew"], "kind": "line"}`` (``kind`` is ``"line"`` or
+    ``"bar"``).  Experiments that leave it empty get auto-detected
+    numeric-column charts.
+    """
 
     experiment_id: str
     title: str
@@ -43,6 +50,7 @@ class ExperimentResult:
     tables: list[Table] = field(default_factory=list)
     notes: list[str] = field(default_factory=list)
     data: dict = field(default_factory=dict)
+    figures: list[dict] = field(default_factory=list)
 
     def render(self) -> str:
         lines = [

@@ -114,4 +114,13 @@ def run(scale: Scale = "quick", *, rho: float = 0.5, seed: int = 0) -> Experimen
             "diameters": diameters,
             "adjacent_series": adjacent_series,
         },
+        figures=[
+            {
+                "table": 0,
+                "x": "D",
+                "y": ["peak adjacent skew", "logD/loglogD"],
+                "kind": "bar",
+                "title": "E02: forced distance-1 skew vs the bound's envelope",
+            }
+        ],
     )

@@ -129,4 +129,13 @@ def run(
             f"({len(ladder)} fault families), workers={workers}"
         ],
         data={"spec": spec.name, "ladder": list(ladder), "curves": curves},
+        figures=[
+            {
+                "table": 0,
+                "x": "fault",
+                "y": ["max_skew", "final_skew", "final_adj"],
+                "kind": "bar",
+                "title": "E13: skew degradation up the fault ladder",
+            }
+        ],
     )

@@ -264,4 +264,13 @@ def run(
             "curves": curves,
             "reconvergence": reconvergence,
         },
+        figures=[
+            {
+                "table": 0,
+                "x": "mobility",
+                "y": ["max_skew", "final_skew", "final_adj"],
+                "kind": "bar",
+                "title": "E16: skew vs mobility speed",
+            }
+        ],
     )

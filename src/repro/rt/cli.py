@@ -75,6 +75,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers", type=int, default=0,
         help="router worker processes (0 = auto, ~1 per 16 nodes)",
     )
+    parser.add_argument(
+        "--tail", metavar="DIR", default=None,
+        help="stream rolling-panel SVG frames (tail_NNNN.svg) into DIR "
+             "while the run executes",
+    )
+    parser.add_argument(
+        "--tail-interval", type=float, default=0.5,
+        help="sim-time units between streamed tail frames",
+    )
     return parser
 
 
@@ -98,8 +107,15 @@ def main(argv: list[str] | None = None) -> int:
             mobility=args.mobility,
             workers=args.workers,
         )
+        tail = None
+        if args.tail is not None:
+            from repro.viz.tail import StreamingTail
+
+            tail = StreamingTail(
+                interval=args.tail_interval, out_dir=args.tail
+            )
         wall_start = time.perf_counter()
-        execution = run_live(config)
+        execution = run_live(config, tail=tail)
         wall = time.perf_counter() - wall_start
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -133,6 +149,8 @@ def main(argv: list[str] | None = None) -> int:
     if execution.is_dynamic:
         table.add_row("rewirings", len(execution.topology_timeline) - 1)
     table.add_row("wall-clock seconds", round(wall, 3))
+    if tail is not None:
+        table.add_row("tail frames streamed", tail.frames_rendered)
     print(table.render())
     return 0
 

@@ -186,8 +186,11 @@ class HostClock:
         """
         self._check_rate(rate)
         now = self.elapsed()
-        if now <= self._starts[-1] + TIME_EPS:
+        if now <= self._starts[-1]:
             # Same-instant rebind: the later rate wins the open segment.
+            # (Strictly same-instant only — replacing the rate after even
+            # a sliver of elapsed time would retroactively rescale that
+            # sliver and could move an already-observed reading backwards.)
             self._rates[-1] = rate
             return
         self._values.append(self.value_at_elapsed(now))

@@ -17,6 +17,7 @@ per-node views into one globally time-ordered record.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Callable, Optional
 
 from repro.sim.clock import HardwareClock, LogicalClock
 from repro.sim.execution import Execution
@@ -29,15 +30,27 @@ __all__ = ["LiveRecorder", "merge_recorders", "build_execution"]
 
 @dataclass
 class LiveRecorder:
-    """What one live run (or one node of a distributed run) observed."""
+    """What one live run (or one node of a distributed run) observed.
+
+    ``tap`` is an optional per-event callback (a streaming tail's
+    ``event`` entry point): it sees every event as it happens, even when
+    ``record_trace`` is off, and is never shipped across processes —
+    the distributed backends construct their recorders child-side
+    without one.
+    """
 
     record_trace: bool = True
     events: list[TraceEvent] = field(default_factory=list)
     messages: list[Message] = field(default_factory=list)
+    tap: Optional[Callable[[TraceEvent], None]] = field(
+        default=None, compare=False
+    )
 
     def record(self, event: TraceEvent) -> None:
         if self.record_trace:
             self.events.append(event)
+        if self.tap is not None:
+            self.tap(event)
 
     def add_message(self, message: Message) -> None:
         self.messages.append(message)

@@ -361,10 +361,14 @@ class _RouterCore:
         time_scale: float,
         owner: Mapping[int, int],
         worker_ports: Mapping[int, int],
+        tail=None,
     ):
         self._topology = topology
         self._dynamic = dynamic
         self._time_scale = time_scale
+        #: Optional streaming tail: sees every well-formed frame that
+        #: crosses the switch, before churn decides its fate.
+        self._tail = tail
         self._owner = dict(owner)
         self._addrs = {
             w: ("127.0.0.1", port) for w, port in worker_ports.items()
@@ -386,6 +390,20 @@ class _RouterCore:
 
     def bind_epoch(self, epoch_wall: float) -> None:
         self._epoch_wall = epoch_wall
+
+    def now(self) -> float:
+        """Elapsed simulation time since the shared epoch."""
+        if self._epoch_wall is None:
+            return 0.0
+        return (time.monotonic() - self._epoch_wall) / self._time_scale
+
+    def counters(self) -> dict:
+        """Wire counters for the streaming tail / live_stats."""
+        return {
+            "frames_routed": self.frames_routed,
+            "frames_dropped": self.frames_dropped,
+            "lost_no_edge": self.dropped_no_edge,
+        }
 
     def stats(self) -> dict:
         merged = dict(self._controller.stats) if self._controller else {}
@@ -411,6 +429,8 @@ class _RouterCore:
             self.frames_dropped += 1
             return
         now = (time.monotonic() - self._epoch_wall) / self._time_scale
+        if self._tail is not None:
+            self._tail.frame(record, now)
         topo = self._dynamic.at(now) if self._dynamic else self._topology
         if (min(src, dst), max(src, dst)) not in self._edges(topo):
             self.dropped_no_edge += 1
@@ -518,6 +538,7 @@ def _route_and_collect(
     conns: dict,
     children: dict,
     deadline: float,
+    tail=None,
 ) -> dict:
     """Switch frames until every worker has shipped its run report.
 
@@ -525,7 +546,9 @@ def _route_and_collect(
     arrive, and worker pipes (plus process sentinels) are watched so a
     dead or wedged worker raises a prompt :class:`RtError` naming it —
     the same failure contract :func:`~repro.rt.udp.collect_messages`
-    gives the udp backend.
+    gives the udp backend.  An attached ``tail`` additionally gets a
+    counter snapshot per loop wakeup, so its panels track the switch
+    in real time.
     """
     reports: dict[int, dict] = {}
     pending = dict(conns)
@@ -548,6 +571,8 @@ def _route_and_collect(
                 except BlockingIOError:
                     break
                 core.handle(datagram, router_sock)
+            if tail is not None:
+                tail.stats(core.now(), **core.counters())
         for w in list(pending):
             if not pending[w].poll(0):
                 continue
@@ -568,7 +593,7 @@ def _route_and_collect(
     return reports
 
 
-def run_router(config: "LiveRunConfig") -> "Execution":
+def run_router(config: "LiveRunConfig", *, tail=None) -> "Execution":
     """Run one live scenario on the multiplexed router transport."""
     if "fork" not in multiprocessing.get_all_start_methods():
         raise RtError(
@@ -634,6 +659,7 @@ def run_router(config: "LiveRunConfig") -> "Execution":
             time_scale=config.time_scale,
             owner=owner,
             worker_ports=worker_ports,
+            tail=tail,
         )
 
         pipes = {w: ctx.Pipe() for w in range(n_workers)}
@@ -668,7 +694,7 @@ def run_router(config: "LiveRunConfig") -> "Execution":
         budget = _START_GRACE + config.duration * config.time_scale + _REPORT_GRACE
         reports = _route_and_collect(
             router_sock, core, parent_conns, children,
-            time.monotonic() + budget,
+            time.monotonic() + budget, tail=tail,
         )
         for child in children.values():
             child.join(timeout=5.0)
@@ -707,6 +733,9 @@ def run_router(config: "LiveRunConfig") -> "Execution":
         + sum(r.get("frames_dropped", 0) for r in reports.values()),
         "events": sum(r.get("events", 0) for r in reports.values()),
     }
+    if tail is not None:
+        tail.stats(config.duration, **core.counters())
+        tail.close()
     return build_execution(
         topology=base,
         duration=config.duration,

@@ -146,11 +146,16 @@ class UdpTransport(Transport):
         delay_policy,
         seed: int,
         duration: float,
+        tail_port: int | None = None,
     ):
         self._node = node
         self._sock = sock
         self._ports = dict(ports)
         self._host = host
+        #: Parent-side tap port: when set, every sent frame is also
+        #: mirrored there so a streaming tail can watch the run live
+        #: (the parent is otherwise blind — frames go node to node).
+        self._tail_port = tail_port
         # Per-sender delay stream: children share no RNG, so each mixes
         # its node id into the simulator's delay-seed recipe.
         self._init_messaging(
@@ -192,6 +197,8 @@ class UdpTransport(Transport):
             }
         )
         self._sock.sendto(frame, ("127.0.0.1", self._ports[receiver]))
+        if self._tail_port is not None:
+            self._sock.sendto(frame, ("127.0.0.1", self._tail_port))
 
     def schedule_timer(self, node: LiveNode, fire_at: float, name: str) -> None:
         self._push(fire_at, "timer", (name,))
@@ -255,6 +262,18 @@ class UdpTransport(Transport):
 # parent-side orchestration (shared with the router backend)
 
 
+def _drain_tap(sock: socket.socket, fn) -> None:
+    """Feed every queued mirrored frame on the tap socket to ``fn``."""
+    while True:
+        try:
+            datagram, _ = sock.recvfrom(65536)
+        except BlockingIOError:
+            return
+        record = decode_frame(datagram)
+        if record is not None:
+            fn(record)
+
+
 def collect_messages(
     conns: Mapping,
     children: Mapping,
@@ -262,6 +281,7 @@ def collect_messages(
     *,
     what: str,
     role: str = "node process",
+    tap: tuple[socket.socket, "callable"] | None = None,
 ) -> dict:
     """Receive one message from every pipe, failing fast on dead peers.
 
@@ -273,6 +293,12 @@ def collect_messages(
     budget.  EOF on a pipe — where ``poll()`` returns True but
     ``recv()`` raises ``EOFError`` — is translated the same way instead
     of escaping raw.
+
+    ``tap`` is an optional ``(udp socket, fn)`` pair watched alongside
+    the pipes (``multiprocessing.connection.wait`` accepts sockets on
+    Unix): mirrored frames arriving on the socket are decoded and fed to
+    ``fn(record)`` as they land, which is how a streaming tail observes
+    a udp run whose real traffic never crosses the parent.
     """
     pending = dict(conns)
     out: dict = {}
@@ -287,8 +313,13 @@ def collect_messages(
         watch = list(pending.values()) + [
             children[key].sentinel for key in pending if key in children
         ]
-        if not _mp_wait(watch, timeout=remaining):
+        if tap is not None:
+            watch.append(tap[0])
+        ready = _mp_wait(watch, timeout=remaining)
+        if not ready:
             continue  # spurious wakeup; the loop re-checks the deadline
+        if tap is not None and tap[0] in ready:
+            _drain_tap(*tap)
         progressed = False
         for key in list(pending):
             conn = pending[key]
@@ -378,6 +409,7 @@ def _node_main(node: int, cfg: dict, ports: dict, sock: socket.socket, conn) -> 
             delay_policy=delay_policy_from_spec(cfg["delays"]),
             seed=cfg["seed"],
             duration=cfg["duration"],
+            tail_port=cfg.get("tail_port"),
         )
         live = LiveNode(
             node,
@@ -410,7 +442,7 @@ def _node_main(node: int, cfg: dict, ports: dict, sock: socket.socket, conn) -> 
         sock.close()
 
 
-def run_udp(config: "LiveRunConfig") -> "Execution":
+def run_udp(config: "LiveRunConfig", *, tail=None) -> "Execution":
     """Run one live scenario with one OS process per node; see module doc."""
     if "fork" not in multiprocessing.get_all_start_methods():
         raise RtError(
@@ -442,12 +474,27 @@ def run_udp(config: "LiveRunConfig") -> "Execution":
 
     sockets: dict[int, socket.socket] = {}
     ports: dict[int, int] = {}
+    tap_sock: socket.socket | None = None
+    tap = None
     try:
         for node in topology.nodes:
             sock = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
             sock.bind(("127.0.0.1", 0))
             sockets[node] = sock
             ports[node] = sock.getsockname()[1]
+        if tail is not None:
+            # A parent-side tap socket children mirror their frames to;
+            # its sim-time axis is each frame's own send stamp.
+            tap_sock = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+            tap_sock.bind(("127.0.0.1", 0))
+            tap_sock.setblocking(False)
+            cfg["tail_port"] = tap_sock.getsockname()[1]
+            tap = (
+                tap_sock,
+                lambda record: tail.frame(
+                    record, float(record.get("send", 0.0))
+                ),
+            )
 
         pipes = {node: ctx.Pipe() for node in topology.nodes}
         children = {
@@ -483,11 +530,14 @@ def run_udp(config: "LiveRunConfig") -> "Execution":
                 pass  # surfaced as a prompt RtError by the collection below
         budget = _START_GRACE + config.duration * config.time_scale + _REPORT_GRACE
         reports = collect_messages(
-            parent_conns, children, time.monotonic() + budget, what="run report"
+            parent_conns, children, time.monotonic() + budget,
+            what="run report", tap=tap,
         )
         for child in children.values():
             child.join(timeout=5.0)
     finally:
+        if tap_sock is not None:
+            tap_sock.close()
         for sock in sockets.values():
             sock.close()
         for child in list(locals().get("children", {}).values()):
@@ -497,6 +547,14 @@ def run_udp(config: "LiveRunConfig") -> "Execution":
     raise_reported_errors(reports)
     warn_missed_epochs(reports)
     recorder = merge_recorders([reports[n]["recorder"] for n in topology.nodes])
+    if tail is not None:
+        tail.stats(
+            config.duration,
+            frames_dropped=sum(
+                r.get("frames_dropped", 0) for r in reports.values()
+            ),
+        )
+        tail.close()
     return build_execution(
         topology=topology,
         duration=config.duration,

@@ -92,6 +92,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--json-out", metavar="FILE", help="write the full artifact as JSON"
     )
     parser.add_argument(
+        "--report", metavar="DIR",
+        help="render report.svg + report.json (repro.viz) under DIR",
+    )
+    parser.add_argument(
         "--per-job", action="store_true", help="also print the per-job grid"
     )
     return parser
@@ -200,6 +204,16 @@ def main(argv: list[str] | None = None) -> int:
         )
         path = write_json(args.json_out, payload)
         print(f"wrote {path}")
+    if args.report:
+        from repro.viz.report import write_report
+
+        svg_path, json_path = write_report(
+            args.report,
+            [outcome.metrics for outcome in outcomes],
+            title=f"sweep '{spec.name}' report",
+        )
+        print(f"wrote {svg_path}")
+        print(f"wrote {json_path}")
     return 0
 
 

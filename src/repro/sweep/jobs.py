@@ -52,7 +52,10 @@ __all__ = [
 #: ``mobility``; metrics add ``frames_dropped``, ``rewirings``, and real
 #: ``fault_events``) and the udp/router timebase moved to a ready
 #: barrier, which shifts wall-clock jitter enough to invalidate rows.
-CACHE_VERSION = 6
+#: v7: live-run metrics add the transport counters sweep reports chart
+#: (``frames_routed``, ``events``, ``workers``); cached v6 rows lack
+#: them, so they must be re-run.
+CACHE_VERSION = 7
 
 #: kind name -> (callable, defining module name)
 _JOB_KINDS: Dict[str, tuple[Callable[[Mapping[str, Any]], dict], str]] = {}

@@ -1,0 +1,218 @@
+"""The ``viz`` verb: render figures from the shell.
+
+Reached as ``python -m repro.experiments viz …`` or via the
+``repro-viz`` console script.  Three subcommands::
+
+    repro-viz dashboard --topology line --nodes 16 --alg gradient \\
+        --faults crash-recover:0.25,5 --out figures/
+    repro-viz report sweep.json --out figures/
+    repro-viz experiment E02 --scale quick --out figures/
+
+``dashboard`` re-runs one scenario cell (the same spec strings the
+sweep grid uses, with tracing on so event markers appear) and writes
+the skew-field dashboard plus the mobility animation; ``report``
+renders a saved sweep JSON artifact into ``report.svg``/``report.json``;
+``experiment`` runs a registered experiment and charts its tables.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.errors import ReproError
+
+__all__ = ["main", "build_parser", "run_scenario"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-viz",
+        description=(
+            "Render SVG figures from executions, sweep artifacts, and "
+            "experiments — stdlib-only, no display needed."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    dash = sub.add_parser(
+        "dashboard", help="simulate one scenario and render its skew field"
+    )
+    dash.add_argument("--topology", default="line",
+                      help="topology kind or full spec like grid:3,4")
+    dash.add_argument("--nodes", type=int, default=8,
+                      help="node count for 1-argument kinds")
+    dash.add_argument("--alg", "--algorithm", dest="algorithm",
+                      default="gradient", help="algorithm spec")
+    dash.add_argument("--rates", default="drifted")
+    dash.add_argument("--delays", default="uniform")
+    dash.add_argument("--faults", default="none",
+                      help="fault-family spec, e.g. crash-recover:0.25,5")
+    dash.add_argument("--mobility", default="static",
+                      help="mobility-family spec, e.g. waypoint:0.5")
+    dash.add_argument("--duration", type=float, default=20.0)
+    dash.add_argument("--rho", type=float, default=0.2)
+    dash.add_argument("--seed", type=int, default=0)
+    dash.add_argument("--out", default="viz-out", metavar="DIR")
+    dash.add_argument("--frames", action="store_true",
+                      help="also write numbered mobility stills")
+
+    rep = sub.add_parser(
+        "report", help="render a sweep JSON artifact as report.svg/.json"
+    )
+    rep.add_argument("artifact", help="sweep artifact (from sweep --json-out)")
+    rep.add_argument("--out", default="viz-out", metavar="DIR")
+    rep.add_argument("--group-key", default="algorithm",
+                     help="metric key the bars are grouped by")
+    rep.add_argument("--title", default=None)
+
+    exp = sub.add_parser(
+        "experiment", help="run one experiment and chart its tables"
+    )
+    exp.add_argument("id", help="experiment id (E01..E16)")
+    exp.add_argument("--scale", choices=["quick", "full"], default="quick")
+    exp.add_argument("--seed", type=int, default=0)
+    exp.add_argument("--workers", type=int, default=1)
+    exp.add_argument("--out", default="viz-out", metavar="DIR")
+    return parser
+
+
+def run_scenario(
+    *,
+    topology: str,
+    algorithm: str,
+    rates: str = "drifted",
+    delays: str = "uniform",
+    faults: str = "none",
+    mobility: str = "static",
+    duration: float = 20.0,
+    rho: float = 0.2,
+    seed: int = 0,
+):
+    """Simulate one sweep-style scenario cell with tracing on.
+
+    The same spec-string plumbing as the ``benign-run`` job kind, but
+    the trace is always recorded so dashboards get their CRASH /
+    RECOVER / TopologyChange markers.
+    """
+    from repro.sim.simulator import SimConfig, run_simulation
+    from repro.sweep.families import (
+        algorithm_from_spec,
+        delay_policy_from_spec,
+        fault_plan_from_spec,
+        mobility_from_spec,
+        rates_from_spec,
+        topology_from_spec,
+    )
+
+    topo = topology_from_spec(topology)
+    alg = algorithm_from_spec(algorithm)
+    dynamic = mobility_from_spec(mobility, topo, seed=seed, horizon=duration)
+    if dynamic is not None:
+        topo = dynamic.initial
+    return run_simulation(
+        dynamic if dynamic is not None else topo,
+        alg.processes(topo),
+        SimConfig(duration=duration, rho=rho, seed=seed, record_trace=True),
+        rate_schedules=rates_from_spec(
+            rates, topo, rho=rho, seed=seed, horizon=duration
+        ),
+        delay_policy=delay_policy_from_spec(delays),
+        fault_plan=fault_plan_from_spec(
+            faults, topo, seed=seed, horizon=duration
+        ),
+    )
+
+
+def _cmd_dashboard(args: argparse.Namespace) -> int:
+    from repro.viz.dashboard import skew_dashboard
+    from repro.viz.mobility import mobility_animation, mobility_frames
+
+    topology_spec = (
+        args.topology if ":" in args.topology
+        else f"{args.topology}:{args.nodes}"
+    )
+    execution = run_scenario(
+        topology=topology_spec,
+        algorithm=args.algorithm,
+        rates=args.rates,
+        delays=args.delays,
+        faults=args.faults,
+        mobility=args.mobility,
+        duration=args.duration,
+        rho=args.rho,
+        seed=args.seed,
+    )
+    out = Path(args.out)
+    out.mkdir(parents=True, exist_ok=True)
+    written = []
+    dash_path = out / "dashboard.svg"
+    dash_path.write_text(skew_dashboard(execution), encoding="utf-8")
+    written.append(dash_path)
+    anim_path = out / "mobility.svg"
+    anim_path.write_text(mobility_animation(execution), encoding="utf-8")
+    written.append(anim_path)
+    if args.frames:
+        for k, frame in enumerate(mobility_frames(execution)):
+            frame_path = out / f"mobility_{k:03d}.svg"
+            frame_path.write_text(frame, encoding="utf-8")
+            written.append(frame_path)
+    for path in written:
+        print(f"wrote {path}")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.viz.report import rows_from_artifact, write_report
+
+    with open(args.artifact) as handle:
+        payload = json.load(handle)
+    rows = rows_from_artifact(payload)
+    title = args.title or (
+        f"sweep '{payload.get('spec', {}).get('name', 'sweep')}' report"
+    )
+    svg_path, json_path = write_report(
+        args.out, rows, title=title, group_key=args.group_key
+    )
+    print(f"wrote {svg_path}")
+    print(f"wrote {json_path}")
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    from repro.experiments import run_experiment
+    from repro.viz.report import experiment_report
+
+    result = run_experiment(
+        args.id.upper(), args.scale, seed=args.seed, workers=args.workers
+    )
+    svg = experiment_report(result)
+    if svg is None:
+        print(f"error: {args.id} produced no chartable tables",
+              file=sys.stderr)
+        return 2
+    out = Path(args.out)
+    out.mkdir(parents=True, exist_ok=True)
+    path = out / f"{result.experiment_id.lower()}.svg"
+    path.write_text(svg, encoding="utf-8")
+    print(f"wrote {path}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        if args.command == "dashboard":
+            return _cmd_dashboard(args)
+        if args.command == "report":
+            return _cmd_report(args)
+        return _cmd_experiment(args)
+    except (ReproError, OSError, json.JSONDecodeError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

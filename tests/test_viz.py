@@ -1,0 +1,413 @@
+"""The observability layer: headless renderers, escaping, CLI verbs.
+
+Everything here draws to strings or in-memory buffers and re-parses the
+result with :mod:`xml.etree` — well-formedness is the contract every
+SVG consumer (browsers, CI artifact viewers) actually relies on.  The
+acceptance scenario is the ISSUE's: a 64-node dynamic-topology faulted
+run must render (a) a skew dashboard with event markers, (b) a mobility
+animation, and (c) a sweep report bundle, with zero third-party
+rendering deps.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import math
+import xml.etree.ElementTree as ET
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.reporting import Table
+from repro.experiments.common import ExperimentResult
+from repro.rt import LiveRunConfig, run_live
+from repro.viz import (
+    EventMarker,
+    Series,
+    SvgCanvas,
+    experiment_report,
+    mobility_animation,
+    mobility_frames,
+    render_report,
+    report_payload,
+    rows_from_artifact,
+    save_svg,
+    skew_dashboard,
+    write_report,
+)
+from repro.viz.cli import main as viz_main, run_scenario
+from repro.viz.panels import (
+    bar_panel,
+    downsample_columns,
+    heatmap_panel,
+    line_panel,
+    nice_ticks,
+)
+from repro.viz.svg import escape_attr, escape_text, sequential_color
+
+
+def parsed(svg: str) -> ET.Element:
+    """Well-formedness gate: every rendered figure must pass here."""
+    root = ET.fromstring(svg)
+    assert root.tag.endswith("svg")
+    return root
+
+
+# ----------------------------------------------------------------------
+# primitives
+
+
+class TestSvgPrimitives:
+    def test_canvas_renders_well_formed_document(self):
+        canvas = SvgCanvas(200, 100)
+        canvas.rect(10, 10, 50, 30, fill="#ff0000", title="a<b&c")
+        canvas.line(0, 0, 200, 100, stroke="#000000", dash="4,3")
+        canvas.polyline([(0, 0), (10, 5), (20, 3)], stroke="#00ff00")
+        canvas.circle(100, 50, 8, fill="#0000ff", title='say "hi"')
+        canvas.text(5, 95, "label <&> done", klass="t")
+        parsed(canvas.to_string())
+
+    def test_save_svg_accepts_paths_and_buffers(self, tmp_path):
+        canvas = SvgCanvas(50, 50)
+        canvas.text(10, 25, "x")
+        svg = canvas.to_string()
+        target = tmp_path / "out.svg"
+        save_svg(svg, target)
+        assert target.read_text(encoding="utf-8") == svg
+        text_buf = io.StringIO()
+        save_svg(svg, text_buf)
+        assert text_buf.getvalue() == svg
+        byte_buf = io.BytesIO()
+        save_svg(svg, byte_buf)
+        assert byte_buf.getvalue().decode("utf-8") == svg
+
+    def test_color_ramps_are_hex_and_nan_safe(self):
+        for t in (-1.0, 0.0, 0.25, 0.5, 1.0, 2.0, float("nan")):
+            color = sequential_color(t)
+            assert len(color) == 7 and color.startswith("#")
+            int(color[1:], 16)
+
+    def test_nice_ticks_cover_range(self):
+        ticks = nice_ticks(0.0, 10.0)
+        assert ticks[0] >= 0.0 and ticks[-1] <= 10.0 and len(ticks) >= 2
+        assert nice_ticks(5.0, 5.0)  # degenerate span still yields ticks
+        assert nice_ticks(float("nan"), 1.0) == [0.0]
+
+    def test_downsample_columns_max_pools_spikes(self):
+        matrix = np.zeros((2, 1000))
+        matrix[1, 777] = 9.0  # a one-sample spike must survive pooling
+        pooled, stride = downsample_columns(matrix, limit=100)
+        assert pooled.shape[1] <= 100 and stride > 1
+        assert pooled.max() == 9.0
+
+    @given(st.text(max_size=60))
+    @settings(max_examples=120, deadline=None)
+    def test_arbitrary_labels_never_break_the_document(self, label):
+        """The escaping property: any node label, title, or caption —
+        including XML metacharacters and control bytes — yields a
+        parseable document."""
+        canvas = SvgCanvas(120, 60)
+        canvas.text(5, 20, label)
+        canvas.rect(5, 30, 20, 10, fill="#aaaaaa", title=label)
+        canvas.circle(60, 40, 5, fill="#bbbbbb", title=label, klass=label)
+        parsed(canvas.to_string())
+
+    @given(st.text(max_size=60))
+    @settings(max_examples=120, deadline=None)
+    def test_escape_leaves_no_raw_metacharacters(self, text):
+        for escaped in (escape_text(text), escape_attr(text)):
+            assert "<" not in escaped
+            body = escaped
+            for entity in ("&amp;", "&lt;", "&gt;", "&quot;", "&#"):
+                body = body.replace(entity, "")
+            assert "&" not in body
+        assert '"' not in escape_attr(text).replace("&quot;", "")
+
+
+# ----------------------------------------------------------------------
+# panels
+
+
+class TestPanels:
+    def test_line_panel_with_markers_and_boundaries(self):
+        canvas = SvgCanvas(400, 200)
+        line_panel(
+            canvas, 40, 20, 320, 150,
+            [Series("a", [0, 1, 2, 3], [0.0, 1.0, 0.5, 2.0]),
+             Series("b", [0, 1, 2, 3], [1.0, float("nan"), 1.5, 1.0])],
+            title="t", y_label="y",
+            markers=[EventMarker(1.5, "crash"), EventMarker(2.5, "recover")],
+            boundaries=[2.0],
+        )
+        svg = canvas.to_string()
+        parsed(svg)
+        assert 'class="event-crash"' in svg
+        assert 'class="event-recover"' in svg
+        assert 'class="segment-boundary"' in svg
+
+    def test_heatmap_panel_counts_cells_and_masks(self):
+        canvas = SvgCanvas(300, 200)
+        matrix = np.arange(12.0).reshape(3, 4)
+        mask = np.zeros((3, 4), dtype=bool)
+        mask[0, 0] = True
+        cells = heatmap_panel(
+            canvas, 30, 20, 200, 120, matrix,
+            row_labels=["r0", "r1", "r2"], x_extent=(0.0, 4.0), mask=mask,
+        )
+        assert cells == 12
+        svg = canvas.to_string()
+        parsed(svg)
+        assert "#f0f0f0" in svg  # the masked (not-in-force) cell
+
+    def test_heatmap_rejects_empty_matrix(self):
+        with pytest.raises(ValueError):
+            heatmap_panel(SvgCanvas(100, 100), 0, 0, 50, 50, np.empty((0, 0)))
+
+    def test_bar_panel_draws_grouped_bars_with_tooltips(self):
+        canvas = SvgCanvas(400, 200)
+        bar_panel(
+            canvas, 40, 20, 320, 150,
+            ["cell-a", "cell-b"],
+            [("alg1", [1.0, 2.0]), ("alg2", [1.5, float("nan")])],
+        )
+        svg = canvas.to_string()
+        parsed(svg)
+        assert svg.count('class="bar"') == 3  # NaN bar skipped
+        assert "cell-a / alg1: 1" in svg
+
+
+# ----------------------------------------------------------------------
+# the acceptance scenario: 64 nodes, dynamic topology, faults
+
+
+@pytest.fixture(scope="module")
+def churny_execution():
+    return run_scenario(
+        topology="line:64",
+        algorithm="gradient",
+        faults="crash-recover:0.25,3",
+        mobility="waypoint:0.5",
+        duration=8.0,
+        seed=2,
+    )
+
+
+class TestDashboard:
+    def test_dashboard_renders_with_event_markers(self, churny_execution):
+        svg = skew_dashboard(churny_execution)
+        parsed(svg)
+        assert 'class="event-crash"' in svg
+        assert 'class="event-recover"' in svg
+        assert 'class="event-topology"' in svg
+        assert 'class="segment-boundary"' in svg
+        assert "n=64" in svg
+
+    def test_dashboard_shows_live_and_fault_stats(self, churny_execution):
+        svg = skew_dashboard(churny_execution)
+        assert "source: sim" in svg
+        assert "rewirings:" in svg
+        assert "faults:" in svg
+
+    def test_dashboard_writes_to_memory_buffer(self, churny_execution):
+        buf = io.StringIO()
+        save_svg(skew_dashboard(churny_execution), buf)
+        parsed(buf.getvalue())
+
+    def test_static_run_dashboard_has_no_boundaries(self):
+        execution = run_scenario(
+            topology="ring:6", algorithm="averaging", duration=5.0
+        )
+        svg = skew_dashboard(execution)
+        parsed(svg)
+        assert "segment-boundary" not in svg
+        assert "event-topology" not in svg
+
+
+class TestMobility:
+    def test_animation_cycles_one_group_per_snapshot(self, churny_execution):
+        svg = mobility_animation(churny_execution)
+        parsed(svg)
+        snapshots = len(churny_execution.topology_timeline)
+        assert svg.count("<animate") == snapshots
+        assert svg.count('calcMode="discrete"') == snapshots
+        assert 'class="node-down"' in svg or 'class="node"' in svg
+
+    def test_frames_match_snapshot_count(self, churny_execution):
+        frames = mobility_frames(churny_execution)
+        assert len(frames) == len(churny_execution.topology_timeline)
+        for frame in frames:
+            parsed(frame)
+
+    def test_static_run_renders_single_visible_frame(self):
+        execution = run_scenario(
+            topology="line:5", algorithm="gradient", duration=4.0
+        )
+        svg = mobility_animation(execution)
+        parsed(svg)
+        assert "<animate" not in svg  # nothing to cycle
+        assert svg.count('class="node"') == 5
+
+
+# ----------------------------------------------------------------------
+# reports
+
+
+def sample_rows():
+    rows = []
+    for alg in ("gradient", "averaging"):
+        for seed in range(2):
+            rows.append({
+                "topology": "line:8", "algorithm": alg, "rates": "drifted",
+                "delays": "uniform", "faults": "none", "mobility": "static",
+                "transport": "sim", "seed": seed,
+                "max_skew": 1.0 + seed * 0.2, "max_adjacent_skew": 0.5,
+                "final_skew": 0.8,
+            })
+    rows.append({
+        "topology": "ring:8", "algorithm": "gradient", "rates": "drifted",
+        "delays": "uniform", "faults": "none", "mobility": "static",
+        "transport": "router", "seed": 0, "max_skew": 2.0,
+        "max_adjacent_skew": 1.0, "final_skew": 1.4,
+        "frames_dropped": 3, "frames_routed": 120, "workers": 2,
+    })
+    return rows
+
+
+class TestSweepReport:
+    def test_render_report_groups_by_algorithm(self):
+        svg = render_report(sample_rows())
+        parsed(svg)
+        assert "gradient" in svg and "averaging" in svg
+        assert 'class="bar"' in svg
+
+    def test_render_report_rejects_empty_rows(self):
+        with pytest.raises(ValueError):
+            render_report([])
+
+    def test_payload_aggregates_seeds_and_counters(self):
+        payload = report_payload(sample_rows())
+        assert payload["n_jobs"] == 5
+        by_key = {
+            (r["cell"].get("topology"), r["algorithm"]): r
+            for r in payload["rows"]
+        }
+        sim_row = by_key[("line:8", "gradient")]
+        assert sim_row["seeds"] == 2
+        assert math.isclose(sim_row["mean_max_skew"], 1.1)
+        router_row = by_key[("ring:8", "gradient")]
+        assert router_row["frames_dropped"] == 3
+        assert router_row["frames_routed"] == 120
+
+    def test_write_report_emits_svg_and_json(self, tmp_path):
+        svg_path, json_path = write_report(tmp_path / "rep", sample_rows())
+        parsed(svg_path.read_text(encoding="utf-8"))
+        payload = json.loads(json_path.read_text(encoding="utf-8"))
+        assert payload["metrics"] == ["max_skew", "max_adjacent_skew",
+                                      "final_skew"]
+
+    def test_rows_from_artifact_requires_jobs(self):
+        with pytest.raises(ValueError):
+            rows_from_artifact({"spec": {}})
+        rows = rows_from_artifact(
+            {"jobs": [{"metrics": {"max_skew": 1.0}}]}
+        )
+        assert rows == [{"max_skew": 1.0}]
+
+
+class TestExperimentReport:
+    def result_with_tables(self, figures=None):
+        table = Table(
+            title="demo", headers=["n", "max skew", "note"],
+        )
+        table.add_row(8, 1.25, "a")
+        table.add_row(16, 2.5, "b")
+        return ExperimentResult(
+            experiment_id="E99",
+            title="synthetic",
+            paper_artifact="none",
+            tables=[table],
+            figures=figures or [],
+        )
+
+    def test_auto_charts_numeric_columns(self):
+        svg = experiment_report(self.result_with_tables())
+        assert svg is not None
+        parsed(svg)
+        assert "E99" in svg
+
+    def test_figure_spec_selects_columns(self):
+        svg = experiment_report(self.result_with_tables(
+            figures=[{"table": 0, "x": "n", "y": ["max skew"],
+                      "kind": "line", "title": "skew vs n"}]
+        ))
+        assert svg is not None
+        parsed(svg)
+        assert "skew vs n" in svg
+
+    def test_uncharted_result_returns_none(self):
+        table = Table(title="words", headers=["a", "b"])
+        table.add_row("x", "y")
+        result = ExperimentResult(
+            experiment_id="E98", title="t", paper_artifact="none",
+            tables=[table],
+        )
+        assert experiment_report(result) is None
+
+
+# ----------------------------------------------------------------------
+# live_stats uniformity (satellite: never None on live runs)
+
+
+class TestLiveStats:
+    def test_in_process_live_run_reports_dict_stats(self):
+        execution = run_live(
+            LiveRunConfig(topology="line:4", duration=4.0,
+                          transport="virtual")
+        )
+        assert isinstance(execution.live_stats, dict)
+        assert execution.live_stats["frames_dropped"] == 0
+        assert execution.live_stats["events"] > 0
+
+    def test_live_stats_surface_in_dashboard(self):
+        execution = run_live(
+            LiveRunConfig(topology="line:4", duration=4.0,
+                          transport="virtual")
+        )
+        svg = skew_dashboard(execution)
+        assert "frames_dropped: 0" in svg
+        assert "source: live-virtual" in svg
+
+
+# ----------------------------------------------------------------------
+# the viz CLI
+
+
+class TestVizCli:
+    def test_report_verb_renders_artifact(self, tmp_path, capsys):
+        artifact = tmp_path / "sweep.json"
+        artifact.write_text(json.dumps(
+            {"spec": {"name": "t"},
+             "jobs": [{"metrics": row} for row in sample_rows()]}
+        ))
+        out = tmp_path / "figs"
+        assert viz_main(["report", str(artifact), "--out", str(out)]) == 0
+        parsed((out / "report.svg").read_text(encoding="utf-8"))
+        assert (out / "report.json").exists()
+
+    def test_dashboard_verb_writes_figures(self, tmp_path, capsys):
+        out = tmp_path / "figs"
+        code = viz_main([
+            "dashboard", "--topology", "line", "--nodes", "5",
+            "--duration", "4", "--out", str(out),
+        ])
+        assert code == 0
+        parsed((out / "dashboard.svg").read_text(encoding="utf-8"))
+        parsed((out / "mobility.svg").read_text(encoding="utf-8"))
+
+    def test_report_verb_fails_cleanly_on_bad_artifact(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{}")
+        assert viz_main(["report", str(bad), "--out", str(tmp_path)]) == 2
+        assert "error" in capsys.readouterr().err
