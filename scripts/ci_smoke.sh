@@ -1,5 +1,7 @@
 #!/usr/bin/env bash
-# CI smoke: tier-1 tests, then one quick-scale parallel sweep end-to-end,
+# CI smoke: the static invariant linter (repro.check over the full
+# tree, < 10s, zero findings), then tier-1 tests, then one quick-scale
+# parallel sweep end-to-end,
 # then the fault/robustness suite (E13 + the `faults`-marked tests),
 # then the live runtime (a <=10s virtual-time demo, a UDP E14 quick cell,
 # a multiplexed router cell with live churn, the crash-failure
@@ -23,6 +25,13 @@ cd "$(dirname "$0")/.."
 
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 
+echo "== static invariant linter (repro.check) =="
+# The full-tree walk is pure stdlib-ast parsing and must stay fast:
+# budget 10s, and the committed baseline is empty so any finding fails.
+timeout 10 python -m repro.check src --baseline check_baseline.json \
+    || { echo "error: repro-check found new invariant violations" >&2; exit 1; }
+
+echo
 echo "== tier-1: full test suite =="
 python -m pytest -x -q
 

@@ -6,7 +6,7 @@ README = Path(__file__).parent / "README.md"
 
 setup(
     name="repro-gradient-clock-sync",
-    version="1.5.0",
+    version="1.6.0",
     description=(
         "Executable reproduction of 'Gradient Clock Synchronization' "
         "(Fan & Lynch, PODC 2004): simulator, lower-bound adversaries, "
@@ -14,8 +14,11 @@ setup(
         "dynamic-topology & mobility subsystem, a live runtime "
         "(virtual-time / asyncio / UDP transports), a batched "
         "simulation engine byte-identical to the scalar event loop, "
-        "and a stdlib-only SVG observability layer (dashboards, "
-        "mobility animations, live streaming tails, sweep reports)"
+        "a stdlib-only SVG observability layer (dashboards, "
+        "mobility animations, live streaming tails, sweep reports), "
+        "and repro-check, an AST-based invariant linter enforcing the "
+        "determinism / float-discipline / layering / pickle-safety / "
+        "registry-sync contracts statically"
     ),
     long_description=README.read_text() if README.exists() else "",
     long_description_content_type="text/markdown",
@@ -36,6 +39,7 @@ setup(
             "repro-experiments = repro.experiments.cli:main",
             "repro-live = repro.rt.cli:main",
             "repro-viz = repro.viz.cli:main",
+            "repro-check = repro.check.cli:main",
         ],
     },
     classifiers=[

@@ -19,6 +19,7 @@ __all__ = [
     "SlewingMaxAlgorithm",
     "RBSAlgorithm",
     "ExternalSyncAlgorithm",
+    "standard_suite",
 ]
 
 

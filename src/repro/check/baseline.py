@@ -1,0 +1,74 @@
+"""The committed findings baseline.
+
+A baseline lets the checker gate *new* findings while grandfathered
+ones are burned down: each entry pins one finding by its
+line-number-independent fingerprint (rule + path + offending source
+line).  The repo's policy is an **empty** baseline — every rule is
+clean at head — but the mechanism is what makes adopting a new rule
+tractable: write the rule, ``--write-baseline`` the existing findings,
+land both, then shrink the file to zero in follow-ups.
+
+Format (JSON, diff-reviewable)::
+
+    {
+      "version": 1,
+      "findings": [
+        {"fingerprint": "...", "rule": "FLT001",
+         "path": "repro/sim/x.py", "source": "if t == end:"},
+        ...
+      ]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.check.core import Finding
+
+__all__ = ["load_baseline", "partition", "write_baseline"]
+
+_VERSION = 1
+
+
+def load_baseline(path: Path) -> frozenset[str]:
+    """Fingerprints pinned by the baseline file (empty if absent)."""
+    if not path.exists():
+        return frozenset()
+    payload = json.loads(path.read_text(encoding="utf-8"))
+    if payload.get("version") != _VERSION:
+        raise ValueError(
+            f"unsupported baseline version {payload.get('version')!r} "
+            f"in {path}"
+        )
+    return frozenset(
+        entry["fingerprint"] for entry in payload.get("findings", [])
+    )
+
+
+def write_baseline(path: Path, findings: Sequence[Finding]) -> None:
+    """Persist every current finding as grandfathered."""
+    entries = [
+        {
+            "fingerprint": f.fingerprint,
+            "rule": f.rule,
+            "path": f.path,
+            "source": f.source.strip(),
+        }
+        for f in sorted(findings, key=lambda f: (f.path, f.line, f.rule))
+    ]
+    payload = {"version": _VERSION, "findings": entries}
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+
+def partition(
+    findings: Iterable[Finding], pinned: frozenset[str]
+) -> tuple[list[Finding], list[Finding]]:
+    """Split findings into (new, grandfathered) against the baseline."""
+    new: list[Finding] = []
+    old: list[Finding] = []
+    for finding in findings:
+        (old if finding.fingerprint in pinned else new).append(finding)
+    return new, old

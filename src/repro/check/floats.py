@@ -1,0 +1,137 @@
+"""Float-discipline rule: no bare ``==``/``!=`` between time values.
+
+The repo's own history motivates this rule twice: the PR 4 window-grid
+drift (a ``t += step`` accumulator silently skipping the last Lemma 7.1
+window at scale) and the PR 8 ``HostClock.set_rate`` TIME_EPS
+regression.  Real-time instants, clock readings, and durations are
+floats accumulated through arithmetic — comparing them with bare
+``==``/``!=`` encodes an assumption of exactness the arithmetic does
+not provide.  The sanctioned idioms are the ``repro._constants``
+helpers: ``abs(a - b) <= TIME_EPS`` for coincidence,
+``a > b + TIME_EPS`` for strict order, and ``window_starts`` for
+integer-index window grids.
+
+``FLT001`` flags a comparison when a *time-like* expression (an
+identifier such as ``t``, ``start``, ``duration``, ``real_time``, a
+``*_time``/``time_*`` name, or a clock-evaluation call like
+``value_at``/``time_at``) is compared for equality against another
+time-like expression or a float literal.  Comparisons against integer
+literals, strings, ``None`` and booleans pass (they are sentinels, not
+measurements), as does the ``x != x`` NaN probe.  Sites where exact
+equality *is* the contract — e.g. validating that a schedule anchors at
+literal ``0.0`` — carry a ``# repro: allow[FLT001]`` pragma stating so.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator
+
+from repro.check.core import Finding, ModuleInfo, Project, Rule, terminal_name
+
+__all__ = ["FLOAT_CHECKED_PACKAGES", "TIME_NAME_RE", "FloatTimeEqualityRule"]
+
+#: Packages whose float comparisons are measurement-path code.  ``viz``
+#: and ``experiments`` render/report rather than measure, and ``check``
+#: is the linter itself.
+FLOAT_CHECKED_PACKAGES = frozenset(
+    {"sim", "sweep", "analysis", "gcs", "topology", "algorithms", "apps", "rt"}
+)
+
+#: Identifiers that denote instants, readings, or durations.
+TIME_NAME_RE = re.compile(
+    r"""^(
+        t|t0|t1|t2|dt|now|when|instant|epoch|deadline|horizon|
+        time|times|real_time|sim_time|hardware|logical|
+        start|starts|end|ends|stop|
+        duration|elapsed|settling_time|arrival|
+        .*_time|time_.*|.*_at|.*_instant|.*_deadline|.*_epoch
+    )$""",
+    re.VERBOSE,
+)
+
+#: Clock-evaluation calls whose results are time values.
+_TIME_CALLS = {"value_at", "values_at", "time_at", "read", "settling_time"}
+
+
+def _is_time_like(node: ast.AST) -> bool:
+    if isinstance(node, ast.Call):
+        name = terminal_name(node)
+        return name in _TIME_CALLS
+    if isinstance(node, ast.UnaryOp):
+        return _is_time_like(node.operand)
+    if isinstance(node, ast.BinOp):
+        return _is_time_like(node.left) or _is_time_like(node.right)
+    name = terminal_name(node)
+    if name is None:
+        return False
+    return bool(TIME_NAME_RE.match(name))
+
+
+def _is_exempt_operand(node: ast.AST) -> bool:
+    """Sentinel operands that make an equality test legitimate."""
+    if isinstance(node, ast.Constant):
+        value = node.value
+        # int/None/str/bool sentinels are fine; float literals are not.
+        return not isinstance(value, float) or isinstance(value, bool)
+    return False
+
+
+def _comparable(node: ast.AST) -> bool:
+    """Operand shapes the rule considers: time-like, float literal, or
+    another numeric expression (not an obvious sentinel)."""
+    return not _is_exempt_operand(node)
+
+
+class FloatTimeEqualityRule(Rule):
+    code = "FLT001"
+    name = "no-bare-float-time-equality"
+    hint = (
+        "compare times through repro._constants: abs(a - b) <= TIME_EPS "
+        "for coincidence, a > b + TIME_EPS for order, window_starts for "
+        "grids; pragma sites where exactness is the contract"
+    )
+    contract = (
+        "measurement paths tolerate accumulated float error up to TIME_EPS; "
+        "bare equality between time values is how the window-grid and "
+        "HostClock regressions slipped in"
+    )
+
+    def check(self, module: ModuleInfo, project: Project) -> Iterator[Finding]:
+        if module.package not in FLOAT_CHECKED_PACKAGES:
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left, *node.comparators]
+            for op, left, right in zip(node.ops, operands, operands[1:]):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                if ast.dump(left) == ast.dump(right):
+                    continue  # the x != x NaN probe
+                left_time = _is_time_like(left)
+                right_time = _is_time_like(right)
+                if not (left_time or right_time):
+                    continue
+                if not (_comparable(left) and _comparable(right)):
+                    continue
+                # Both sides must be plausibly float-valued: a time-like
+                # side plus either another time-like side or a float
+                # literal.  Anything else (e.g. `kind == other`) would
+                # need type inference we deliberately do not attempt.
+                other = right if left_time else left
+                other_is_float_literal = isinstance(
+                    other, ast.Constant
+                ) and isinstance(other.value, float)
+                if not (
+                    (left_time and right_time) or other_is_float_literal
+                ):
+                    continue
+                sym = "==" if isinstance(op, ast.Eq) else "!="
+                yield self.finding(
+                    module,
+                    node,
+                    f"bare float {sym} between time expressions "
+                    f"({ast.unparse(left)} {sym} {ast.unparse(right)})",
+                )

@@ -1,0 +1,72 @@
+"""The ``# repro: allow[RULE]`` suppression pragma.
+
+A finding is suppressed when the physical line it is reported on
+carries a pragma naming its rule code::
+
+    t_end = horizon  # set up
+    if t == t_end:  # repro: allow[FLT001] boundary sentinel, exact by design
+        ...
+
+Several codes may share one pragma (``allow[FLT001,DET001]``).  The
+pragma silences *exactly* the listed rules on *exactly* that line —
+never a whole file, never a different rule — so every suppression is a
+visible, reviewable decision (a hypothesis property in the test suite
+pins this exactness).  Unknown codes in a pragma are themselves
+reported by the runner as ``PRAGMA`` notes so stale suppressions cannot
+linger silently.
+
+Pragmas are recognized only in real ``#`` comments (found via
+:mod:`tokenize`), never in string literals or docstrings — documentation
+that *mentions* the pragma syntax does not suppress anything.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+
+from repro.check.core import ModuleInfo
+
+__all__ = ["PRAGMA_RE", "suppressions", "unknown_codes"]
+
+PRAGMA_RE = re.compile(r"#\s*repro:\s*allow\[([A-Za-z0-9_,\s]+)\]")
+
+
+def _comment_tokens(module: ModuleInfo) -> list[tuple[int, str]]:
+    source = "\n".join(module.lines) + "\n"
+    comments: list[tuple[int, str]] = []
+    try:
+        for tok in tokenize.generate_tokens(io.StringIO(source).readline):
+            if tok.type == tokenize.COMMENT:
+                comments.append((tok.start[0], tok.string))
+    except tokenize.TokenizeError:  # pragma: no cover - parse already passed
+        pass
+    return comments
+
+
+def suppressions(module: ModuleInfo) -> dict[int, frozenset[str]]:
+    """Map line number -> rule codes suppressed on that line."""
+    table: dict[int, frozenset[str]] = {}
+    for lineno, comment in _comment_tokens(module):
+        match = PRAGMA_RE.search(comment)
+        if match:
+            codes = frozenset(
+                code.strip().upper()
+                for code in match.group(1).split(",")
+                if code.strip()
+            )
+            if codes:
+                table[lineno] = codes
+    return table
+
+
+def unknown_codes(
+    module: ModuleInfo, known: frozenset[str]
+) -> list[tuple[int, str]]:
+    """``(line, code)`` pairs for pragma codes no registered rule owns."""
+    stale = []
+    for lineno, codes in suppressions(module).items():
+        for code in sorted(codes - known):
+            stale.append((lineno, code))
+    return stale

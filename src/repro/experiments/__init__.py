@@ -30,7 +30,7 @@ from repro.experiments import (
 )
 from repro.experiments.common import ExperimentResult
 
-__all__ = ["REGISTRY", "run_experiment", "ExperimentResult"]
+__all__ = ["REGISTRY", "run_experiment", "ExperimentResult", "ExperimentError"]
 
 REGISTRY: dict[str, Callable[..., ExperimentResult]] = {
     "E01": e01_folklore.run,

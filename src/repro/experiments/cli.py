@@ -1,11 +1,12 @@
-"""Entry point: ``python -m repro.experiments [ids|sweep|live|viz]``.
+"""Entry point: ``python -m repro.experiments [ids|sweep|live|viz|check]``.
 
-Four verbs share the entry point: bare experiment ids (``E01``..``E16``)
+Five verbs share the entry point: bare experiment ids (``E01``..``E16``)
 run individual reproductions, ``sweep`` dispatches to the parallel
 scenario-sweep engine (:mod:`repro.sweep.cli`), ``live`` runs an
 algorithm on a real transport through the live runtime
-(:mod:`repro.rt.cli`), and ``viz`` renders SVG figures from scenarios,
-sweep artifacts, and experiments (:mod:`repro.viz.cli`)::
+(:mod:`repro.rt.cli`), ``viz`` renders SVG figures from scenarios,
+sweep artifacts, and experiments (:mod:`repro.viz.cli`), and ``check``
+runs the static invariant linter (:mod:`repro.check.cli`)::
 
     python -m repro.experiments E03 E05 --workers 4
     python -m repro.experiments E02 --report figures/
@@ -13,6 +14,7 @@ sweep artifacts, and experiments (:mod:`repro.viz.cli`)::
     python -m repro.experiments live --alg gradient --topology line \\
         --nodes 8 --transport virtual
     python -m repro.experiments viz dashboard --topology grid:4,4
+    python -m repro.experiments check src/
 """
 
 from __future__ import annotations
@@ -59,6 +61,10 @@ def main(argv: list[str] | None = None) -> int:
         from repro.viz.cli import main as viz_main
 
         return viz_main(argv[1:])
+    if argv and argv[0] == "check":
+        from repro.check.cli import main as check_main
+
+        return check_main(argv[1:])
 
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
@@ -73,7 +79,10 @@ def main(argv: list[str] | None = None) -> int:
         "ids",
         nargs="*",
         metavar="ID",
-        help="experiment ids (E01..E16), or 'sweep' / 'live'; default: all",
+        help=(
+            "experiment ids (E01..E16), or 'sweep' / 'live' / 'viz' / "
+            "'check'; default: all"
+        ),
     )
     parser.add_argument(
         "--scale",
@@ -102,7 +111,7 @@ def main(argv: list[str] | None = None) -> int:
         return 0
 
     ids = [i.upper() for i in args.ids] or sorted(REGISTRY)
-    for verb in ("SWEEP", "LIVE"):
+    for verb in ("SWEEP", "LIVE", "VIZ", "CHECK"):
         if verb in ids:
             print(
                 f"error: the '{verb.lower()}' verb must come first: "

@@ -64,8 +64,15 @@ class PiecewiseConstantRate:
     def __post_init__(self) -> None:
         if len(self.starts) != len(self.rates):
             raise ScheduleError("starts and rates must have equal length")
-        if not self.starts or self.starts[0] != 0.0:
+        if not self.starts or abs(self.starts[0]) > TIME_EPS:
             raise ScheduleError("schedule must start at t = 0")
+        # A within-tolerance anchor (e.g. an accumulated 1e-12 from
+        # upstream float arithmetic) is accepted but normalized to the
+        # exact origin: segment lookup bisects over ``starts`` and
+        # relies on the first breakpoint being literally 0.0, so a
+        # query at t = 0 must never land before the first segment.
+        if self.starts[0] != 0.0:  # repro: allow[FLT001] exact-origin invariant
+            object.__setattr__(self, "starts", (0.0, *tuple(self.starts)[1:]))
         for a, b in zip(self.starts, self.starts[1:]):
             if b <= a:
                 raise ScheduleError(f"breakpoints must increase: {a} !< {b}")

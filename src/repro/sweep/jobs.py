@@ -124,9 +124,13 @@ def job_hash(job: Job) -> str:
 def execute_job(job: Job) -> JobOutcome:
     """Run one job in the current process and time it."""
     fn = resolve_job_kind(job.kind, job.module)
-    start = time.perf_counter()
+    # Wall-clock stopwatch for the `elapsed` metadata field only: it is
+    # not a metric, never enters the cache key, and cannot perturb the
+    # deterministic (spec, seed) -> metrics contract.
+    start = time.perf_counter()  # repro: allow[DET001] elapsed metadata
     metrics = fn(job.params)
-    return JobOutcome(job=job, metrics=metrics, elapsed=time.perf_counter() - start)
+    elapsed = time.perf_counter() - start  # repro: allow[DET001] elapsed metadata
+    return JobOutcome(job=job, metrics=metrics, elapsed=elapsed)
 
 
 # ----------------------------------------------------------------------

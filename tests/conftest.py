@@ -37,6 +37,11 @@ def pytest_configure(config):
         "rt: live-runtime transport suite (wall-clock sleeps and node "
         "processes; select with -m rt, skip with -m 'not rt')",
     )
+    config.addinivalue_line(
+        "markers",
+        "check: static invariant linter self-tests (repro.check; "
+        "select with -m check)",
+    )
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,468 @@
+"""Self-tests for ``repro.check``, the static invariant linter.
+
+Three layers of coverage:
+
+* **the repo itself is clean** — the full checker runs over ``src/``
+  against the committed (empty) baseline and must report nothing: this
+  is the tier-1 gate that makes every rule a standing guarantee;
+* **per-rule fixtures** — for each rule family a known-good and a
+  known-bad snippet, written into a ``repro/``-shaped tmp tree, with
+  the bad one asserting exactly the expected code fires (and the good
+  one that nothing does);
+* **machinery** — a hypothesis property pinning that the
+  ``# repro: allow[CODE]`` pragma suppresses *exactly* its rule, the
+  declared layer DAG pinned literally and checked acyclic, baseline
+  round-trips, and the CLI's exit-code/JSON contract.
+"""
+
+from __future__ import annotations
+
+import importlib
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.check import (
+    ALL_RULES,
+    default_rules,
+    load_baseline,
+    run_check,
+    write_baseline,
+)
+from repro.check.core import BASE_PACKAGES
+from repro.check.layering import ALLOWED_IMPORTS, LAZY_ALLOWED, MODULE_EXEMPT
+
+pytestmark = pytest.mark.check
+
+REPO = Path(__file__).resolve().parent.parent
+SRC = REPO / "src"
+BASELINE = REPO / "check_baseline.json"
+
+RULE_CODES = tuple(rule.code for rule in ALL_RULES)
+
+
+# ----------------------------------------------------------------------
+# fixture snippets: one known-bad (and its minimal fix) per rule
+
+#: code -> (relative path inside the fixture tree, bad source,
+#:          1-indexed line the finding lands on, good source)
+SNIPPETS: dict[str, tuple[str, str, int, str]] = {
+    "DET001": (
+        "repro/sim/fix_det1.py",
+        "import time\nT = time.time()\n",
+        2,
+        "def now(sim):\n    return sim.current_time\n",
+    ),
+    "DET002": (
+        "repro/analysis/fix_det2.py",
+        "import random\nX = random.random()\n",
+        2,
+        "import random\n\ndef draw(seed):\n    return random.Random(seed).random()\n",
+    ),
+    "FLT001": (
+        "repro/gcs/fix_flt.py",
+        "def same_instant(t, end):\n    return t == end\n",
+        2,
+        "EPS = 1e-9\n\ndef same_instant(t, end):\n    return abs(t - end) <= EPS\n",
+    ),
+    "LAY001": (
+        "repro/sim/fix_lay.py",
+        "from repro.sweep.runner import run_jobs\n",
+        1,
+        "from repro.topology.base import Topology\n",
+    ),
+    "PKL001": (
+        "repro/experiments/fix_pkl1.py",
+        "def submit(run_jobs, jobs):\n    return run_jobs(jobs, key=lambda j: j)\n",
+        2,
+        "def cell_key(j):\n    return j\n\ndef submit(run_jobs, jobs):\n    return run_jobs(jobs, key=cell_key)\n",
+    ),
+    "PKL002": (
+        "repro/experiments/fix_pkl2.py",
+        "def make(Job):\n    def local_fn(params):\n        return {}\n    return Job(params=local_fn)\n",
+        4,
+        "def module_fn(params):\n    return {}\n\ndef make(Job):\n    return Job(params=module_fn)\n",
+    ),
+    "REG001": (
+        "repro/viz/fix_reg1.py",
+        'def receives(trace):\n    return trace.of_kind("recieve")\n',
+        2,
+        'def receives(trace):\n    return trace.of_kind("receive")\n',
+    ),
+    "REG002": (
+        "repro/analysis/fix_reg2.py",
+        '__all__ = ["missing_name"]\n',
+        1,
+        '__all__ = ["present"]\n\npresent = 1\n',
+    ),
+    "REG003": (
+        "repro/apps/__init__.py",
+        'from repro.sim.trace import TraceEvent\n\n__all__ = []\n',
+        1,
+        'from repro.sim.trace import TraceEvent\n\n__all__ = ["TraceEvent"]\n',
+    ),
+    "REG004": (
+        "repro/sweep/fix_reg4.py",
+        'from repro.sweep.jobs import job_kind\n\n'
+        '@job_kind("partial")\n'
+        "def partial(params):\n"
+        '    metrics = {"topology": "line:4"}\n'
+        "    return metrics\n",
+        5,
+        'from repro.sweep.jobs import job_kind\n\n'
+        '@job_kind("full")\n'
+        "def full(params):\n"
+        "    metrics = dict(params)\n"
+        "    return metrics\n",
+    ),
+}
+
+
+def _write_tree(tmp_path: Path, rel: str, source: str) -> Path:
+    path = tmp_path / rel
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(source, encoding="utf-8")
+    return path
+
+
+def _codes(report) -> list[str]:
+    return [f.rule for f in report.new]
+
+
+class TestRepoIsClean:
+    """The tier-1 gate: the tree at head has zero findings."""
+
+    def test_full_tree_empty_against_committed_baseline(self):
+        report = run_check([SRC], baseline=BASELINE)
+        assert report.checked_files > 100
+        assert report.new == [], "\n".join(f.render() for f in report.new)
+        assert report.stale_pragmas == []
+        assert report.exit_code == 0
+
+    def test_committed_baseline_is_empty(self):
+        assert load_baseline(BASELINE) == frozenset()
+
+    def test_suppressions_in_tree_are_documented(self):
+        # The tree carries a handful of reviewed pragmas (metadata
+        # stopwatches, the exact-origin normalization); each must
+        # suppress a rule that would otherwise fire, i.e. stay load-
+        # bearing rather than rot.
+        report = run_check([SRC], baseline=BASELINE)
+        assert report.suppressed >= 1
+
+
+class TestRuleFixtures:
+    """Each rule family: the bad snippet fires, the good one does not."""
+
+    @pytest.mark.parametrize("code", sorted(SNIPPETS))
+    def test_bad_snippet_fires(self, tmp_path, code):
+        rel, bad, lineno, _good = SNIPPETS[code]
+        _write_tree(tmp_path, rel, bad)
+        report = run_check([tmp_path])
+        assert code in _codes(report), "\n".join(
+            f.render() for f in report.new
+        )
+        lines = [f.line for f in report.new if f.rule == code]
+        assert lineno in lines
+
+    @pytest.mark.parametrize("code", sorted(SNIPPETS))
+    def test_good_snippet_is_clean(self, tmp_path, code):
+        rel, _bad, _lineno, good = SNIPPETS[code]
+        _write_tree(tmp_path, rel, good)
+        report = run_check([tmp_path])
+        assert report.new == [], "\n".join(f.render() for f in report.new)
+
+    @pytest.mark.parametrize("code", sorted(SNIPPETS))
+    def test_injected_bad_fixture_fails_full_tree(self, tmp_path, code):
+        """Acceptance criterion: src/ + any known-bad snippet -> nonzero."""
+        rel, bad, _lineno, _good = SNIPPETS[code]
+        import shutil
+
+        tree = tmp_path / "src"
+        shutil.copytree(SRC, tree)
+        inject = tree / Path(rel).parent / ("injected_" + Path(rel).name)
+        if Path(rel).name == "__init__.py":
+            # Can't duplicate a package __init__; plant a sibling package.
+            inject = tree / "repro" / "apps" / "injected" / "__init__.py"
+            inject.parent.mkdir()
+        inject.write_text(bad, encoding="utf-8")
+        report = run_check([tree], baseline=BASELINE)
+        assert report.exit_code == 1
+        assert code in _codes(report)
+
+
+class TestPragma:
+    """# repro: allow[CODE] silences exactly its rule on its line."""
+
+    @given(
+        target=st.sampled_from(sorted(SNIPPETS)),
+        allowed=st.sampled_from(RULE_CODES),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_pragma_silences_exactly_its_rule(
+        self, tmp_path_factory, target, allowed
+    ):
+        rel, bad, lineno, _good = SNIPPETS[target]
+        lines = bad.splitlines()
+        lines[lineno - 1] += f"  # repro: allow[{allowed}]"
+        tmp = tmp_path_factory.mktemp("pragma")
+        _write_tree(tmp, rel, "\n".join(lines) + "\n")
+        report = run_check([tmp])
+        fired = [f.rule for f in report.new if f.line == lineno]
+        if allowed == target:
+            assert target not in fired
+            assert report.suppressed >= 1
+        else:
+            assert target in fired
+
+    def test_pragma_in_docstring_does_not_suppress(self, tmp_path):
+        rel, bad, lineno, _good = SNIPPETS["DET001"]
+        lines = bad.splitlines()
+        lines[lineno - 1] = (
+            '"""docs mention # repro: allow[DET001] here"""; '
+            + lines[lineno - 1]
+        )
+        _write_tree(tmp_path, rel, "\n".join(lines) + "\n")
+        report = run_check([tmp_path])
+        assert "DET001" in _codes(report)
+
+    def test_unknown_pragma_code_is_reported_stale(self, tmp_path):
+        _write_tree(
+            tmp_path,
+            "repro/sim/stale.py",
+            "X = 1  # repro: allow[NOPE99]\n",
+        )
+        report = run_check([tmp_path])
+        assert [f.rule for f in report.stale_pragmas] == ["PRAGMA"]
+        assert report.exit_code == 1
+
+    def test_multi_code_pragma(self, tmp_path):
+        _write_tree(
+            tmp_path,
+            "repro/sim/multi.py",
+            "import time\n"
+            "T = time.time()  # repro: allow[DET001,FLT001]\n",
+        )
+        report = run_check([tmp_path])
+        assert report.new == []
+        assert report.suppressed == 1
+
+
+class TestLayerDag:
+    """The declared DAG itself: pinned, acyclic, honest about the tree."""
+
+    def test_declared_dag_is_pinned(self):
+        # The reviewable contract from docs/ARCHITECTURE.md, verbatim.
+        assert ALLOWED_IMPORTS["topology"] == frozenset()
+        assert ALLOWED_IMPORTS["sim"] == {"topology"}
+        assert ALLOWED_IMPORTS["algorithms"] == {"sim", "topology"}
+        assert ALLOWED_IMPORTS["analysis"] == {"sim", "topology"}
+        assert ALLOWED_IMPORTS["gcs"] == {
+            "sim",
+            "topology",
+            "algorithms",
+            "analysis",
+        }
+        assert ALLOWED_IMPORTS["sweep"] == {
+            "sim",
+            "topology",
+            "algorithms",
+            "analysis",
+        }
+        assert ALLOWED_IMPORTS["rt"] == ALLOWED_IMPORTS["sweep"] | {"sweep"}
+        assert ALLOWED_IMPORTS["viz"] == ALLOWED_IMPORTS["sweep"] | {"sweep"}
+        assert ALLOWED_IMPORTS["check"] == frozenset()
+        assert "check" not in ALLOWED_IMPORTS["experiments"]
+        assert BASE_PACKAGES == {"_constants", "errors"}
+
+    def test_declared_dag_is_acyclic(self):
+        graph = {pkg: set(deps) for pkg, deps in ALLOWED_IMPORTS.items()}
+        seen: dict[str, int] = {}  # 0 = visiting, 1 = done
+
+        def visit(node: str, stack: tuple[str, ...]) -> None:
+            if seen.get(node) == 1:
+                return
+            assert seen.get(node) != 0, f"cycle: {' -> '.join(stack)}"
+            seen[node] = 0
+            for dep in graph.get(node, ()):
+                visit(dep, stack + (dep,))
+            seen[node] = 1
+
+        for pkg in graph:
+            visit(pkg, (pkg,))
+
+    def test_lazy_edges_do_not_weaken_low_layers(self):
+        # The packages below the runtimes may never reach rt/sweep/viz,
+        # not even lazily.
+        for pkg in ("sim", "analysis", "gcs", "topology", "algorithms"):
+            lazy = LAZY_ALLOWED.get(pkg, frozenset())
+            assert not lazy & {"rt", "viz"}, pkg
+            if pkg != "sim":
+                assert not lazy & {"sweep"}, pkg
+
+    def test_exemptions_carry_reasons(self):
+        for module, (extra, reason) in MODULE_EXEMPT.items():
+            assert module.startswith("repro.")
+            assert extra
+            assert len(reason) > 20, "exemptions must be justified"
+
+
+class TestBaseline:
+    def test_write_load_roundtrip_and_grandfathering(self, tmp_path):
+        rel, bad, _lineno, _good = SNIPPETS["FLT001"]
+        _write_tree(tmp_path, rel, bad)
+        report = run_check([tmp_path])
+        assert report.new
+        baseline = tmp_path / "check_baseline.json"
+        write_baseline(baseline, report.all_current)
+        assert load_baseline(baseline)
+        again = run_check([tmp_path], baseline=baseline)
+        assert again.new == []
+        assert len(again.grandfathered) == len(report.new)
+        assert again.exit_code == 0
+
+    def test_baseline_survives_line_shifts_not_edits(self, tmp_path):
+        rel, bad, _lineno, _good = SNIPPETS["FLT001"]
+        path = _write_tree(tmp_path, rel, bad)
+        baseline = tmp_path / "check_baseline.json"
+        write_baseline(baseline, run_check([tmp_path]).all_current)
+        # Prepending comment lines shifts line numbers: still pinned.
+        path.write_text("# moved\n# down\n" + bad, encoding="utf-8")
+        assert run_check([tmp_path], baseline=baseline).new == []
+        # Editing the offending line makes the finding new again.
+        path.write_text(bad.replace("t == end", "t != end"), encoding="utf-8")
+        assert run_check([tmp_path], baseline=baseline).new
+
+
+class TestRunnerApi:
+    def test_default_rules_selection(self):
+        assert default_rules() == ALL_RULES
+        only = default_rules(["flt001"])
+        assert [r.code for r in only] == ["FLT001"]
+        with pytest.raises(ValueError, match="NOPE99"):
+            default_rules(["NOPE99"])
+
+    def test_rule_metadata_complete(self):
+        codes = set()
+        for rule in ALL_RULES:
+            assert rule.code and rule.code not in codes
+            codes.add(rule.code)
+            assert rule.name and rule.hint and rule.contract
+
+    def test_missing_path_raises(self):
+        with pytest.raises(FileNotFoundError):
+            run_check([Path("no/such/dir")])
+
+
+class TestCli:
+    def _run(self, *argv: str, cwd: Path = REPO):
+        import os
+
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(SRC) + os.pathsep + env.get("PYTHONPATH", "")
+        return subprocess.run(
+            [sys.executable, "-m", "repro.check", *argv],
+            capture_output=True,
+            text=True,
+            cwd=cwd,
+            env=env,
+        )
+
+    def test_clean_tree_exits_zero(self):
+        proc = self._run("src", "--baseline", str(BASELINE))
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "0 new finding(s)" in proc.stdout
+
+    def test_json_format(self):
+        proc = self._run("src", "--format", "json")
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        payload = json.loads(proc.stdout)
+        assert payload["new"] == []
+        assert payload["checked_files"] > 100
+
+    def test_bad_fixture_exits_nonzero(self, tmp_path):
+        rel, bad, _lineno, _good = SNIPPETS["DET001"]
+        _write_tree(tmp_path, rel, bad)
+        proc = self._run(str(tmp_path))
+        assert proc.returncode == 1
+        assert "DET001" in proc.stdout
+
+    def test_list_rules_names_every_family(self):
+        proc = self._run("--list-rules")
+        assert proc.returncode == 0
+        for code in RULE_CODES:
+            assert code in proc.stdout
+
+    def test_experiments_check_verb(self):
+        import os
+
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(SRC) + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.run(
+            [
+                sys.executable,
+                "-m",
+                "repro.experiments",
+                "check",
+                "src",
+                "--baseline",
+                str(BASELINE),
+            ],
+            capture_output=True,
+            text=True,
+            cwd=REPO,
+            env=env,
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+
+    def test_unknown_rule_exits_two(self):
+        proc = self._run("src", "--rules", "NOPE99")
+        assert proc.returncode == 2
+
+
+class TestFixedSiteRegressions:
+    """Runtime complements for the findings this PR fixed in src/."""
+
+    def test_algorithms_all_exports_standard_suite(self):
+        import repro.algorithms as algorithms
+
+        assert "standard_suite" in algorithms.__all__
+        assert callable(algorithms.standard_suite)
+
+    def test_experiments_all_exports_error_type(self):
+        import repro.experiments as experiments
+
+        assert "ExperimentError" in experiments.__all__
+
+    @pytest.mark.parametrize(
+        "package",
+        [
+            "repro",
+            "repro.sim",
+            "repro.topology",
+            "repro.algorithms",
+            "repro.analysis",
+            "repro.gcs",
+            "repro.apps",
+            "repro.sweep",
+            "repro.rt",
+            "repro.viz",
+            "repro.experiments",
+            "repro.check",
+        ],
+    )
+    def test_every_all_entry_resolves(self, package):
+        mod = importlib.import_module(package)
+        assert hasattr(mod, "__all__"), package
+        for name in mod.__all__:
+            assert hasattr(mod, name), f"{package}.__all__ lists {name}"
+
+    def test_version_matches_setup(self):
+        import repro
+
+        setup_text = (REPO / "setup.py").read_text(encoding="utf-8")
+        assert f'version="{repro.__version__}"' in setup_text

@@ -22,6 +22,23 @@ class TestConstruction:
         with pytest.raises(ScheduleError):
             PiecewiseConstantRate(starts=(1.0,), rates=(1.0,))
 
+    def test_anchor_within_time_eps_is_normalized(self):
+        # Regression for the repro-check FLT001 fix: an anchor carrying
+        # accumulated float error within TIME_EPS is accepted — but
+        # normalized to the exact origin, so segment lookup at t = 0
+        # still lands inside the first segment instead of before it.
+        r = PiecewiseConstantRate(starts=(1e-12, 2.0), rates=(1.0, 3.0))
+        assert r.starts[0] == 0.0
+        assert r.rate_at(0.0) == 1.0
+        assert r.value_at(0.0) == 0.0
+        assert r.value_at(3.0) == 2.0 + 3.0
+
+    def test_anchor_beyond_time_eps_still_rejected(self):
+        with pytest.raises(ScheduleError):
+            PiecewiseConstantRate(starts=(1e-6,), rates=(1.0,))
+        with pytest.raises(ScheduleError):
+            PiecewiseConstantRate(starts=(-1e-6,), rates=(1.0,))
+
     def test_breakpoints_must_increase(self):
         with pytest.raises(ScheduleError):
             PiecewiseConstantRate(starts=(0.0, 2.0, 2.0), rates=(1.0, 1.0, 1.0))
