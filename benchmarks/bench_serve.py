@@ -1,0 +1,118 @@
+"""Sweep-service throughput: jobs/second through the daemon, cold and warm.
+
+Two numbers matter for serving sweep traffic: how fast a fresh grid
+drains through the submit → queue → worker → store path (cold), and how
+fast a resubmitted grid comes back entirely from the content-addressed
+store (warm — no forking, no simulation, just manifest + object reads
+over the wire).  Both are floored; the cold rate also carries the
+differential sanity check that the served metrics are bit-identical to
+an in-process :func:`~repro.sweep.runner.run_jobs` call, so the
+benchmark cannot pass by serving the wrong bytes quickly.  Records the
+headline numbers to ``BENCH_serve.json``.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+import pytest
+
+from conftest import write_headline
+from repro.serve.client import ServeClient
+from repro.sweep.runner import run_jobs
+from repro.sweep.spec import SweepSpec
+
+#: Sanity floors.  On a development container the measured cold rate is
+#: ~10-30 jobs/s at 2 workers (tiny sim cells) and the warm rate is
+#: hundreds/s, so a breach means a real serialization or scheduling
+#: regression, not machine noise.
+MIN_COLD_JOBS_PER_SEC = 1.0
+MIN_WARM_JOBS_PER_SEC = 10.0
+
+SPEC = SweepSpec(
+    name="bench-serve",
+    topologies=("line:7", "ring:8"),
+    algorithms=("max-based", "bounded-catch-up"),
+    rate_families=("drifted",),
+    seeds=(0, 1, 2),
+    duration=20.0,
+)
+
+
+@pytest.mark.benchmark(group="serve")
+def test_serve_jobs_per_second(benchmark):
+    store = Path(tempfile.mkdtemp(prefix="bench-serve-")) / "store"
+    env = dict(os.environ)
+    src = str(Path(__file__).resolve().parent.parent / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    daemon = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.serve", "start",
+            "--store", str(store), "--workers", "2",
+        ],
+        env=env, stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+    )
+    jobs = SPEC.jobs()
+    try:
+        with ServeClient(store=store) as client:
+            start = time.perf_counter()
+            receipt = client.submit(SPEC)
+            final = client.wait(receipt["sweep"], timeout=300)
+            cold_s = time.perf_counter() - start
+            assert final["counts"]["done"] == len(jobs)
+            served = client.fetch(receipt["sweep"])
+
+        def warm_roundtrip() -> int:
+            with ServeClient(store=store) as warm:
+                again = warm.submit(SPEC)
+                assert again["queued"] == 0
+                warm.wait(again["sweep"], timeout=60)
+                return len(warm.fetch(again["sweep"]))
+
+        count = benchmark.pedantic(
+            warm_roundtrip, rounds=3, iterations=1, warmup_rounds=1
+        )
+        warm_s = benchmark.stats.stats.mean
+        with ServeClient(store=store) as closer:
+            stats = closer.stats()
+            closer.shutdown()
+        daemon.wait(timeout=15)
+    finally:
+        if daemon.poll() is None:
+            daemon.kill()
+            daemon.wait(timeout=10)
+
+    # The differential guard: fast but wrong must fail.
+    expected = [outcome.metrics for outcome in run_jobs(jobs, workers=1)]
+    assert served == expected
+    assert stats["executed"] == len(jobs)
+
+    cold_rate = len(jobs) / cold_s
+    warm_rate = count / warm_s
+    print(
+        f"\nserve: {len(jobs)} jobs cold in {cold_s:.2f}s "
+        f"-> {cold_rate:.1f} jobs/s; warm resubmission in "
+        f"{warm_s * 1e3:.1f} ms -> {warm_rate:,.0f} jobs/s"
+    )
+    write_headline(
+        "serve",
+        {
+            "grid_jobs": len(jobs),
+            "workers": 2,
+            "cold_jobs_per_sec": round(cold_rate, 2),
+            "warm_jobs_per_sec": round(warm_rate, 1),
+            "min_cold_jobs_per_sec": MIN_COLD_JOBS_PER_SEC,
+            "min_warm_jobs_per_sec": MIN_WARM_JOBS_PER_SEC,
+        },
+    )
+    assert cold_rate >= MIN_COLD_JOBS_PER_SEC
+    assert warm_rate >= MIN_WARM_JOBS_PER_SEC
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(pytest.main([__file__, "-q", "-s"]))

@@ -11,11 +11,14 @@
 # E16 (dynamic topologies end-to-end), the observability layer
 # (repro.viz: a headless dashboard + mobility animation, the sweep
 # report artifact, and a live router run streaming rolling tail
-# panels), the docs step (module doctests + markdown link check), and
+# panels), the sweep service (repro.serve: start the daemon, submit a
+# 3-cell grid, fetch the tables, shut down cleanly, all within a 30s
+# budget), the docs step (module doctests + markdown link check), and
 # the engine/analysis benchmarks (bench_analysis records
 # BENCH_analysis.json, bench_sim BENCH_sim.json with its >= 5x
 # at-scale speedup floor, bench_viz BENCH_viz.json with its rendering
-# cells/second floor).
+# cells/second floor, bench_serve BENCH_serve.json with its cold/warm
+# jobs-per-second floors).
 #
 # Usage: bash scripts/ci_smoke.sh
 # Documented in README.md ("Tests and benchmarks").
@@ -38,6 +41,7 @@ python -m pytest -x -q
 echo
 echo "== quick-scale parallel sweep (end-to-end) =="
 ARTIFACTS="$(mktemp -d)"
+export ARTIFACTS  # the serve lifecycle step runs in a `timeout` subshell
 trap 'rm -rf "$ARTIFACTS"' EXIT
 python -m repro.experiments sweep --quick --seeds 1 --duration 10 \
     --workers 2 --cache-dir "$ARTIFACTS/cache" --json-out "$ARTIFACTS/sweep.json"
@@ -156,6 +160,33 @@ ls "$ARTIFACTS/tail"/tail_*.svg > /dev/null 2>&1 \
     || { echo "error: live --tail wrote no rolling panels" >&2; exit 1; }
 
 echo
+echo "== sweep as a service (repro.serve) =="
+# Full daemon lifecycle inside one 30s budget: start against a fresh
+# store, submit a 3-cell grid through the experiments verb, block until
+# it settles, fetch the rendered tables, query status, stop cleanly.
+timeout 30 bash -c '
+    set -euo pipefail
+    STORE="$ARTIFACTS/serve_store"
+    python -m repro.experiments serve start --store "$STORE" --workers 2 \
+        > "$ARTIFACTS/serve_daemon.txt" &
+    SERVE_PID=$!
+    python -m repro.experiments serve submit --store "$STORE" \
+        --topologies line:5 --algorithms max-based --rates drifted \
+        --seeds 3 --duration 8 --name ci --wait > "$ARTIFACTS/serve_submit.txt"
+    SWEEP="$(sed -n "s/^sweep \([0-9a-f]*\):.*/\1/p" "$ARTIFACTS/serve_submit.txt" | head -1)"
+    test -n "$SWEEP"
+    python -m repro.experiments serve fetch --store "$STORE" "$SWEEP" \
+        > "$ARTIFACTS/serve_fetch.txt"
+    grep -q "max_skew" "$ARTIFACTS/serve_fetch.txt"
+    python -m repro.experiments serve status --store "$STORE" "$SWEEP" \
+        | grep -q "3/3 done"
+    python -m repro.experiments serve stop --store "$STORE"
+    wait "$SERVE_PID"
+' || { echo "error: serve daemon lifecycle failed or blew the 30s budget" >&2; exit 1; }
+grep -q "repro-serve stopped" "$ARTIFACTS/serve_daemon.txt" \
+    || { echo "error: serve daemon did not shut down cleanly" >&2; exit 1; }
+
+echo
 echo "== docs: module doctests + markdown link check =="
 # Every module docstring example is runnable documentation; the paths
 # below are the modules the docs contract names (repro.topology.* and
@@ -212,6 +243,12 @@ echo "== viz rendering benchmark (writes BENCH_viz.json) =="
 python benchmarks/bench_viz.py
 test -s BENCH_viz.json \
     || { echo "error: bench_viz wrote no BENCH_viz.json" >&2; exit 1; }
+
+echo
+echo "== sweep service benchmark (writes BENCH_serve.json) =="
+python benchmarks/bench_serve.py
+test -s BENCH_serve.json \
+    || { echo "error: bench_serve wrote no BENCH_serve.json" >&2; exit 1; }
 
 echo
 echo "ci_smoke: all green"

@@ -6,7 +6,7 @@ README = Path(__file__).parent / "README.md"
 
 setup(
     name="repro-gradient-clock-sync",
-    version="1.6.0",
+    version="1.7.0",
     description=(
         "Executable reproduction of 'Gradient Clock Synchronization' "
         "(Fan & Lynch, PODC 2004): simulator, lower-bound adversaries, "
@@ -16,9 +16,11 @@ setup(
         "simulation engine byte-identical to the scalar event loop, "
         "a stdlib-only SVG observability layer (dashboards, "
         "mobility animations, live streaming tails, sweep reports), "
-        "and repro-check, an AST-based invariant linter enforcing the "
+        "repro-check, an AST-based invariant linter enforcing the "
         "determinism / float-discipline / layering / pickle-safety / "
-        "registry-sync contracts statically"
+        "registry-sync contracts statically, and repro-serve, a "
+        "sweep-as-a-service daemon with a content-addressed result "
+        "store, multi-client dedup, and crash-resumable sweeps"
     ),
     long_description=README.read_text() if README.exists() else "",
     long_description_content_type="text/markdown",
@@ -40,6 +42,7 @@ setup(
             "repro-live = repro.rt.cli:main",
             "repro-viz = repro.viz.cli:main",
             "repro-check = repro.check.cli:main",
+            "repro-serve = repro.serve.cli:main",
         ],
     },
     classifiers=[

@@ -14,6 +14,15 @@ ban static:
   :data:`WALL_CLOCK_EXEMPT`; metadata-only timing sites (e.g. a job's
   ``elapsed`` stopwatch that never enters a cache key) carry an
   explicit ``# repro: allow[DET001]`` pragma.
+
+  ``repro.serve`` sits outside :data:`DETERMINISTIC_PACKAGES` for the
+  same reason as ``rt``: a daemon *is* a wall-clock artifact — socket
+  timeouts, uptime, throughput, start-up polling.  Its determinism
+  obligation is discharged one layer down: the metrics it stores come
+  from the same :func:`repro.sweep.jobs.execute_job` the in-process
+  runner calls, so a served sweep is bit-identical to ``run_jobs``
+  (the differential contract ``tests/test_serve.py`` enforces), while
+  the daemon's own clocks only ever feed operational metadata.
 * ``DET002`` — ambient randomness: calls through the ``random`` module
   itself (``random.random()``, ``random.shuffle`` — global Mersenne
   state), the legacy ``numpy.random.*`` global functions, an *unseeded*

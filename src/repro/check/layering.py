@@ -15,6 +15,9 @@ The declared DAG (transitively closed by the test suite, pinned by
     rt             -> sweep and below
     viz            -> sweep and below (a leaf: nothing imports viz
                       at module top level)
+    serve          -> rt, sweep and below (a leaf: nothing imports
+                      serve at module top level — the daemon wraps the
+                      sweep engine, nothing depends on the daemon)
     experiments    -> everything
     check          -> (nothing: the linter must lint a broken tree)
 
@@ -64,6 +67,9 @@ ALLOWED_IMPORTS: dict[str, frozenset[str]] = {
     "viz": frozenset(
         {"sim", "topology", "algorithms", "analysis", "sweep"}
     ),
+    "serve": frozenset(
+        {"sim", "topology", "algorithms", "analysis", "sweep", "rt"}
+    ),
     "experiments": frozenset(
         {
             "sim",
@@ -92,7 +98,8 @@ LAZY_ALLOWED: dict[str, frozenset[str]] = {
     # --report rendering, ExperimentResult table shapes
     "rt": frozenset({"viz"}),  # --tail streaming panels
     "viz": frozenset({"experiments"}),  # `viz experiment` re-runs
-    "experiments": frozenset({"check"}),  # the `check` CLI verb dispatch
+    "experiments": frozenset({"check", "serve"}),  # `check` / `serve`
+    # CLI verb dispatch — the only sanctioned inbound edge to serve
 }
 
 #: module -> (extra allowed packages, reason).  Whole-module exemptions.

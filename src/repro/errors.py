@@ -69,3 +69,9 @@ class RtError(ReproError):
     """The live runtime (:mod:`repro.rt`) hit an unusable configuration
     or a transport-level failure (bad transport name, spawn failure,
     a node process that never reported back, ...)."""
+
+
+class ServeError(ReproError):
+    """The sweep service (:mod:`repro.serve`) hit a protocol or daemon
+    failure (malformed frame, no daemon listening, a daemon that died
+    mid-reply, a fetch on an incomplete or failed sweep, ...)."""

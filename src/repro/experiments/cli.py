@@ -1,12 +1,14 @@
-"""Entry point: ``python -m repro.experiments [ids|sweep|live|viz|check]``.
+"""Entry point: ``python -m repro.experiments [ids|sweep|live|viz|check|serve]``.
 
-Five verbs share the entry point: bare experiment ids (``E01``..``E16``)
+Six verbs share the entry point: bare experiment ids (``E01``..``E16``)
 run individual reproductions, ``sweep`` dispatches to the parallel
 scenario-sweep engine (:mod:`repro.sweep.cli`), ``live`` runs an
 algorithm on a real transport through the live runtime
 (:mod:`repro.rt.cli`), ``viz`` renders SVG figures from scenarios,
-sweep artifacts, and experiments (:mod:`repro.viz.cli`), and ``check``
-runs the static invariant linter (:mod:`repro.check.cli`)::
+sweep artifacts, and experiments (:mod:`repro.viz.cli`), ``check``
+runs the static invariant linter (:mod:`repro.check.cli`), and
+``serve`` drives the sweep-as-a-service daemon
+(:mod:`repro.serve.cli`)::
 
     python -m repro.experiments E03 E05 --workers 4
     python -m repro.experiments E02 --report figures/
@@ -15,6 +17,7 @@ runs the static invariant linter (:mod:`repro.check.cli`)::
         --nodes 8 --transport virtual
     python -m repro.experiments viz dashboard --topology grid:4,4
     python -m repro.experiments check src/
+    python -m repro.experiments serve start --store /tmp/store
 """
 
 from __future__ import annotations
@@ -65,6 +68,10 @@ def main(argv: list[str] | None = None) -> int:
         from repro.check.cli import main as check_main
 
         return check_main(argv[1:])
+    if argv and argv[0] == "serve":
+        from repro.serve.cli import main as serve_main
+
+        return serve_main(argv[1:])
 
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
@@ -81,7 +88,7 @@ def main(argv: list[str] | None = None) -> int:
         metavar="ID",
         help=(
             "experiment ids (E01..E16), or 'sweep' / 'live' / 'viz' / "
-            "'check'; default: all"
+            "'check' / 'serve'; default: all"
         ),
     )
     parser.add_argument(
@@ -111,7 +118,7 @@ def main(argv: list[str] | None = None) -> int:
         return 0
 
     ids = [i.upper() for i in args.ids] or sorted(REGISTRY)
-    for verb in ("SWEEP", "LIVE", "VIZ", "CHECK"):
+    for verb in ("SWEEP", "LIVE", "VIZ", "CHECK", "SERVE"):
         if verb in ids:
             print(
                 f"error: the '{verb.lower()}' verb must come first: "

@@ -1,0 +1,545 @@
+"""The ``repro-serve`` daemon: a long-running sweep service.
+
+One process owns a localhost TCP listener, a pool of forked worker
+processes, and a :class:`~repro.serve.store.ContentStore`.  Clients
+speak the length-prefixed JSON frames of :mod:`repro.serve.protocol`;
+each request is one frame carrying an ``op`` and each reply one frame
+carrying ``ok`` — ``submit``, ``status``, ``wait``, ``fetch``,
+``stats``, ``ping``, ``shutdown``.
+
+Crash-safety choreography
+-------------------------
+* Workers are forked *before* the listener binds, so they never inherit
+  the listening socket: when the daemon is SIGKILLed the port closes
+  immediately and a client mid-request gets a prompt EOF (surfaced as a
+  named :class:`~repro.errors.ServeError` by the client) instead of a
+  hang.
+* Workers only compute; the parent alone writes to the store.  Orphaned
+  workers after a parent SIGKILL exit on their next pipe operation
+  (EOFError / BrokenPipeError) without touching disk.
+* Manifests are written before the first cell of a sweep runs, and each
+  finished cell's object is written before it is marked done.  A
+  restarted daemon therefore re-derives exactly the missing cells from
+  (manifest, objects) and re-executes only those — the resume contract
+  ``tests/test_serve.py`` kills a live daemon to verify.
+
+Like the live runtime (:mod:`repro.rt`), this package is outside the
+deterministic core: it reads wall clocks for uptime/throughput and
+socket timeouts.  Determinism is preserved where it matters — the
+*metrics* are produced by the same :func:`~repro.sweep.jobs.execute_job`
+the in-process runner uses, so a served sweep is bit-identical to
+``run_jobs``.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import selectors
+import socket
+import time
+import traceback
+from typing import Optional
+
+from repro.errors import ServeError, SweepError
+from repro.serve.jobqueue import JobQueue, SweepBook
+from repro.serve.protocol import PROTOCOL_VERSION, FrameBuffer, send_frame
+from repro.serve.store import ContentStore, hashes_for
+from repro.sweep.jobs import Job, execute_job
+from repro.sweep.spec import SweepSpec
+
+__all__ = ["ServeDaemon"]
+
+#: Transports whose cells fork OS processes per node — impossible under
+#: daemonic pool workers, so the daemon rejects them at submit time.
+_FORKING_TRANSPORTS = frozenset({"udp", "router"})
+
+#: Total worker respawns tolerated before the daemon stops replacing
+#: crashed workers (a crash-looping job kind should fail its cells, not
+#: spin the machine).
+_RESPAWN_BUDGET = 8
+
+
+def _worker_main(worker: int, conn) -> None:
+    """One pool worker: recv task, execute, send result, repeat.
+
+    A task is ``{"hash", "kind", "params", "module"}``; the result
+    echoes the hash with either ``metrics`` or a formatted ``error``.
+    ``None`` (or a closed pipe — the parent died) ends the loop; the
+    worker never opens the store.
+    """
+    while True:
+        try:
+            task = conn.recv()
+        except (EOFError, OSError):
+            break
+        if task is None:
+            break
+        try:
+            outcome = execute_job(
+                Job(kind=task["kind"], params=task["params"],
+                    module=task["module"])
+            )
+            reply = {
+                "hash": task["hash"],
+                "metrics": outcome.metrics,
+                "elapsed": outcome.elapsed,
+            }
+        except Exception:
+            reply = {"hash": task["hash"], "error": traceback.format_exc()}
+        try:
+            conn.send(reply)
+        except (BrokenPipeError, OSError):
+            break
+    conn.close()
+
+
+class ServeDaemon:
+    """The daemon: listener + worker pool + store, in one event loop."""
+
+    def __init__(
+        self,
+        store_dir: str | os.PathLike,
+        *,
+        workers: int = 2,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ):
+        if "fork" not in multiprocessing.get_all_start_methods():
+            raise ServeError(
+                "repro-serve needs the 'fork' start method (worker pipes "
+                "and the populated job-kind registry are inherited)"
+            )
+        if workers < 1:
+            raise ServeError(f"workers must be >= 1, got {workers}")
+        self.store = ContentStore(store_dir)
+        self.queue = JobQueue(self.store)
+        self.book = SweepBook()
+        self.n_workers = workers
+        self.host = host
+        self.port = port
+        self.resumed = 0
+        self.clients_served = 0
+        self.protocol_errors = 0
+        self._ctx = multiprocessing.get_context("fork")
+        self._children: dict[int, multiprocessing.Process] = {}
+        self._conns: dict[int, object] = {}
+        self._busy: dict[int, Optional[str]] = {}
+        self._respawns = 0
+        self._listener: Optional[socket.socket] = None
+        self._selector = selectors.DefaultSelector()
+        self._clients: dict[socket.socket, FrameBuffer] = {}
+        self._waiters: list[tuple[socket.socket, str]] = []
+        self._started_at = 0.0
+        self._stop = False
+
+    # ------------------------------------------------------------------
+    # lifecycle
+
+    def start(self) -> None:
+        """Resume from the store, fork workers, bind, advertise."""
+        self._resume()
+        for worker in range(self.n_workers):
+            self._spawn_worker(worker)
+        # Bind only after forking: workers must not inherit the
+        # listening socket, or a SIGKILLed daemon would leave the port
+        # open and clients hanging instead of seeing a prompt EOF.
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind((self.host, self.port))
+        listener.listen(64)
+        listener.setblocking(False)
+        self.port = listener.getsockname()[1]
+        self._listener = listener
+        self._selector.register(listener, selectors.EVENT_READ, "listener")
+        self.store.write_endpoint(self.host, self.port, workers=self.n_workers)
+        self._started_at = time.monotonic()
+        self._pump()
+
+    def _resume(self) -> None:
+        """Re-enqueue the missing cells of every manifested sweep."""
+        for manifest in self.store.manifests():
+            try:
+                spec = SweepSpec.from_dict(manifest["spec"])
+                jobs = spec.jobs()
+            except SweepError:
+                continue
+            hashes = hashes_for(jobs)
+            self.book.register(
+                manifest["sweep"], spec.name, hashes, manifest["spec"]
+            )
+            for digest, job in zip(hashes, jobs):
+                self.queue.offer(digest, job)
+        # Cells found already on disk during the scan are the resumed
+        # ones; later submissions' hits are ordinary cache hits.
+        self.resumed = self.queue.hits
+
+    def _spawn_worker(self, worker: int) -> None:
+        parent_conn, child_conn = self._ctx.Pipe()
+        child = self._ctx.Process(
+            target=_worker_main, args=(worker, child_conn), daemon=True
+        )
+        child.start()
+        child_conn.close()
+        self._children[worker] = child
+        self._conns[worker] = parent_conn
+        self._busy[worker] = None
+        self._selector.register(
+            parent_conn, selectors.EVENT_READ, ("worker", worker)
+        )
+
+    def close(self) -> None:
+        """Orderly teardown: advert gone first, then sockets, then pool."""
+        self.store.clear_endpoint()
+        for sock in list(self._clients):
+            self._drop_client(sock)
+        if self._listener is not None:
+            try:
+                self._selector.unregister(self._listener)
+            except KeyError:
+                pass
+            self._listener.close()
+            self._listener = None
+        for worker, conn in list(self._conns.items()):
+            try:
+                conn.send(None)
+            except (BrokenPipeError, OSError):
+                pass
+        for child in self._children.values():
+            child.join(timeout=5.0)
+            if child.is_alive():  # pragma: no cover - wedged worker
+                child.terminate()
+        for conn in self._conns.values():
+            try:
+                self._selector.unregister(conn)
+            except KeyError:
+                pass
+            conn.close()
+        self._children.clear()
+        self._conns.clear()
+        self._busy.clear()
+        self._selector.close()
+
+    # ------------------------------------------------------------------
+    # the event loop
+
+    def run(self) -> None:
+        """Serve until :meth:`stop` (or a ``shutdown`` request)."""
+        try:
+            while not self._stop:
+                for key, _ in self._selector.select(timeout=0.2):
+                    if key.data == "listener":
+                        self._accept()
+                    elif isinstance(key.data, tuple):
+                        self._on_worker_readable(key.data[1])
+                    else:
+                        self._on_client_readable(key.fileobj)
+        finally:
+            self.close()
+
+    def stop(self) -> None:
+        self._stop = True
+
+    # ------------------------------------------------------------------
+    # worker pool plumbing
+
+    def _pump(self) -> None:
+        """Hand ready jobs to idle workers."""
+        for worker, digest in self._busy.items():
+            if digest is not None:
+                continue
+            item = self.queue.next_ready()
+            if item is None:
+                return
+            digest, job = item
+            self._busy[worker] = digest
+            try:
+                self._conns[worker].send(
+                    {
+                        "hash": digest,
+                        "kind": job.kind,
+                        "params": dict(job.params),
+                        "module": job.module,
+                    }
+                )
+            except (BrokenPipeError, OSError):
+                # Death noticed at dispatch time; the readable-EOF path
+                # will requeue and respawn.
+                self.queue.requeue(digest, reason="worker pipe closed")
+                self._busy[worker] = None
+
+    def _on_worker_readable(self, worker: int) -> None:
+        conn = self._conns[worker]
+        try:
+            result = conn.recv()
+        except (EOFError, OSError):
+            self._on_worker_death(worker)
+            return
+        digest = result["hash"]
+        if "error" in result:
+            self.queue.mark_failed(digest, result["error"])
+        else:
+            self.queue.mark_done(digest, result["metrics"])
+        self._busy[worker] = None
+        self._pump()
+        self._flush_waiters()
+
+    def _on_worker_death(self, worker: int) -> None:
+        """A worker died mid-job: requeue its cell, respawn the slot."""
+        digest = self._busy.get(worker)
+        exitcode = self._children[worker].exitcode
+        try:
+            self._selector.unregister(self._conns[worker])
+        except KeyError:
+            pass
+        self._conns[worker].close()
+        self._children[worker].join(timeout=1.0)
+        del self._children[worker], self._conns[worker], self._busy[worker]
+        if digest is not None:
+            self.queue.requeue(
+                digest, reason=f"worker died (exit code {exitcode})"
+            )
+        if self._respawns < _RESPAWN_BUDGET:
+            self._respawns += 1
+            self._spawn_worker(worker)
+            self._pump()
+        elif not self._children:
+            # Pool exhausted: fail everything still queued, promptly.
+            while True:
+                item = self.queue.next_ready()
+                if item is None:
+                    break
+                self.queue.mark_failed(
+                    item[0], "no workers left (respawn budget exhausted)"
+                )
+        self._flush_waiters()
+
+    # ------------------------------------------------------------------
+    # client plumbing
+
+    def _accept(self) -> None:
+        try:
+            sock, _ = self._listener.accept()
+        except OSError:  # pragma: no cover - accept race
+            return
+        sock.setblocking(False)
+        self._clients[sock] = FrameBuffer()
+        self._selector.register(sock, selectors.EVENT_READ, "client")
+        self.clients_served += 1
+
+    def _drop_client(self, sock: socket.socket) -> None:
+        try:
+            self._selector.unregister(sock)
+        except KeyError:
+            pass
+        self._clients.pop(sock, None)
+        self._waiters = [(s, sid) for s, sid in self._waiters if s is not sock]
+        sock.close()
+
+    def _on_client_readable(self, sock: socket.socket) -> None:
+        try:
+            chunk = sock.recv(65536)
+        except OSError:
+            self._drop_client(sock)
+            return
+        if not chunk:
+            self._drop_client(sock)
+            return
+        buffer = self._clients[sock]
+        buffer.feed(chunk)
+        while True:
+            try:
+                request = buffer.pop()
+            except ServeError as exc:
+                # Poisoned stream: name the problem, drop the client.
+                self.protocol_errors += 1
+                self._reply(sock, {"ok": False, "error": str(exc)})
+                self._drop_client(sock)
+                return
+            if request is None:
+                return
+            reply = self._handle(sock, request)
+            if reply is not None:
+                if not self._reply(sock, reply):
+                    return
+
+    def _reply(self, sock: socket.socket, reply: dict) -> bool:
+        try:
+            sock.setblocking(True)
+            send_frame(sock, reply)
+            sock.setblocking(False)
+            return True
+        except OSError:
+            self._drop_client(sock)
+            return False
+
+    # ------------------------------------------------------------------
+    # request handling
+
+    def _handle(self, sock: socket.socket, request: dict) -> Optional[dict]:
+        op = request.get("op")
+        if op == "ping":
+            return {
+                "ok": True,
+                "protocol": PROTOCOL_VERSION,
+                "pid": os.getpid(),
+                "workers": len(self._children),
+            }
+        if op == "submit":
+            return self._handle_submit(request)
+        if op == "status":
+            return self._handle_status(request)
+        if op == "wait":
+            return self._handle_wait(sock, request)
+        if op == "fetch":
+            return self._handle_fetch(request)
+        if op == "stats":
+            return self._handle_stats()
+        if op == "shutdown":
+            self._stop = True
+            return {"ok": True, "stopping": True}
+        self.protocol_errors += 1
+        return {"ok": False, "error": f"unknown op {op!r}"}
+
+    def _handle_submit(self, request: dict) -> dict:
+        payload = request.get("spec")
+        if not isinstance(payload, dict):
+            return {"ok": False, "error": "submit needs a 'spec' object"}
+        try:
+            spec = SweepSpec.from_dict(payload)
+            jobs = spec.jobs()
+        except SweepError as exc:
+            return {"ok": False, "error": str(exc)}
+        forking = sorted(_FORKING_TRANSPORTS & set(spec.transports))
+        if forking:
+            return {
+                "ok": False,
+                "error": (
+                    f"{'/'.join(forking)} transport cells spawn node "
+                    "processes, which the daemon's pool workers may not "
+                    "do; run them via 'repro-experiments sweep "
+                    "--workers 1' instead"
+                ),
+            }
+        hashes = hashes_for(jobs)
+        # Manifest before any cell runs: from this instant a kill at any
+        # point leaves a resumable sweep on disk.
+        sweep_id = self.store.write_manifest(spec, hashes)
+        self.book.register(
+            sweep_id, spec.name, hashes, json.loads(spec.to_json())
+        )
+        tally = {"hit": 0, "dedup": 0, "queued": 0, "done": 0, "failed": 0}
+        for digest, job in zip(hashes, jobs):
+            tally[self.queue.offer(digest, job)] += 1
+        self._pump()
+        return {
+            "ok": True,
+            "sweep": sweep_id,
+            "name": spec.name,
+            "total": len(hashes),
+            "hits": tally["hit"] + tally["done"],
+            "deduped": tally["dedup"],
+            "queued": tally["queued"],
+            "counts": self.book.counts(sweep_id, self.queue),
+        }
+
+    def _handle_status(self, request: dict) -> dict:
+        sweep_id = request.get("sweep")
+        if sweep_id is None:
+            listing = [
+                {
+                    "sweep": sid,
+                    "name": self.book.name_of(sid),
+                    "counts": self.book.counts(sid, self.queue),
+                }
+                for sid in self.book.ids()
+            ]
+            return {"ok": True, "sweeps": listing}
+        if not self.book.known(sweep_id):
+            return {"ok": False, "error": f"unknown sweep {sweep_id!r}"}
+        return self._status_reply(sweep_id)
+
+    def _status_reply(self, sweep_id: str) -> dict:
+        return {
+            "ok": True,
+            "sweep": sweep_id,
+            "name": self.book.name_of(sweep_id),
+            "counts": self.book.counts(sweep_id, self.queue),
+            "spec": self.book.spec_payload_of(sweep_id),
+        }
+
+    def _handle_wait(self, sock: socket.socket, request: dict) -> Optional[dict]:
+        sweep_id = request.get("sweep")
+        if not self.book.known(sweep_id):
+            return {"ok": False, "error": f"unknown sweep {sweep_id!r}"}
+        if self.book.settled(sweep_id, self.queue):
+            return self._status_reply(sweep_id)
+        self._waiters.append((sock, sweep_id))
+        return None  # deferred: _flush_waiters replies at settle time
+
+    def _flush_waiters(self) -> None:
+        still = []
+        for sock, sweep_id in self._waiters:
+            if self.book.settled(sweep_id, self.queue):
+                self._reply(sock, self._status_reply(sweep_id))
+            else:
+                still.append((sock, sweep_id))
+        self._waiters = still
+
+    def _handle_fetch(self, request: dict) -> dict:
+        sweep_id = request.get("sweep")
+        if not self.book.known(sweep_id):
+            return {"ok": False, "error": f"unknown sweep {sweep_id!r}"}
+        counts = self.book.counts(sweep_id, self.queue)
+        if counts["failed"]:
+            errors = counts.get("errors", [])
+            summary = errors[0].strip().splitlines()[-1] if errors else "?"
+            return {
+                "ok": False,
+                "error": (
+                    f"sweep {sweep_id} has {counts['failed']} failed "
+                    f"cell(s); first error: {summary}"
+                ),
+            }
+        if counts["done"] != counts["total"]:
+            return {
+                "ok": False,
+                "error": (
+                    f"sweep {sweep_id} is incomplete "
+                    f"({counts['done']}/{counts['total']} done); "
+                    "wait on it before fetching"
+                ),
+            }
+        results = self.store.results(self.book.hashes_of(sweep_id))
+        if results is None:  # pragma: no cover - objects deleted under us
+            return {
+                "ok": False,
+                "error": f"sweep {sweep_id}: store objects missing",
+            }
+        return {
+            "ok": True,
+            "sweep": sweep_id,
+            "name": self.book.name_of(sweep_id),
+            "spec": self.book.spec_payload_of(sweep_id),
+            "results": results,
+        }
+
+    def _handle_stats(self) -> dict:
+        uptime = time.monotonic() - self._started_at
+        executed = self.queue.executed
+        return {
+            "ok": True,
+            "executed": executed,
+            "failed": self.queue.failed,
+            "resumed": self.resumed,
+            "hits": self.queue.hits,
+            "deduped": self.queue.deduped,
+            "sweeps": len(self.book.ids()),
+            "queue_depth": self.queue.depth,
+            "workers": len(self._children),
+            "uptime_s": uptime,
+            "jobs_per_sec": executed / uptime if uptime > 0 else 0.0,
+            "clients_served": self.clients_served,
+            "protocol_errors": self.protocol_errors,
+        }

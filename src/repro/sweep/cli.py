@@ -20,14 +20,16 @@ from repro.sweep.aggregate import sweep_result, to_json_payload, write_json
 from repro.sweep.runner import ResultCache, run_jobs
 from repro.sweep.spec import SweepSpec, full_spec, quick_spec
 
-__all__ = ["main", "build_parser"]
+__all__ = ["main", "build_parser", "add_spec_arguments", "resolve_spec"]
 
 
-def build_parser() -> argparse.ArgumentParser:
-    parser = argparse.ArgumentParser(
-        prog="repro-experiments sweep",
-        description="Run a parallel grid of benign scenarios.",
-    )
+def add_spec_arguments(parser: argparse.ArgumentParser) -> None:
+    """The spec-shaping flags, shared with ``repro-serve submit``.
+
+    Adds the preset group (``--quick``/``--full``/``--spec``) plus every
+    axis/scalar override :func:`resolve_spec` understands, so any CLI
+    that accepts a grid accepts exactly the same grammar.
+    """
     scale = parser.add_mutually_exclusive_group()
     scale.add_argument("--quick", action="store_true", help="small CI grid (default)")
     scale.add_argument("--full", action="store_true", help="writeup-scale grid")
@@ -79,6 +81,14 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--seeds", type=int, help="number of seeds per cell")
     parser.add_argument("--duration", type=float, help="run length (real time)")
     parser.add_argument("--rho", type=float, help="drift bound")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments sweep",
+        description="Run a parallel grid of benign scenarios.",
+    )
+    add_spec_arguments(parser)
     parser.add_argument(
         "--workers",
         type=int,
@@ -101,7 +111,8 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _resolve_spec(args: argparse.Namespace) -> SweepSpec:
+def resolve_spec(args: argparse.Namespace) -> SweepSpec:
+    """Build the grid from parsed :func:`add_spec_arguments` flags."""
     if args.spec:
         with open(args.spec) as handle:
             spec = SweepSpec.from_dict(json.load(handle))
@@ -145,7 +156,7 @@ def _resolve_spec(args: argparse.Namespace) -> SweepSpec:
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     try:
-        spec = _resolve_spec(args)
+        spec = resolve_spec(args)
         jobs = spec.jobs()
     except (OSError, json.JSONDecodeError, SweepError) as exc:
         print(f"error: {exc}", file=sys.stderr)

@@ -32,7 +32,16 @@ __all__ = ["ResultCache", "run_jobs"]
 
 
 class ResultCache:
-    """A directory of per-job metric files, keyed by job content hash."""
+    """A directory of per-job metric files, keyed by job content hash.
+
+    The hash-keyed half of the API (``path_for`` / ``has_hash`` /
+    ``get_hash`` / ``put_hash``) is the content-addressed core that
+    :class:`repro.serve.store.ContentStore` generalizes with per-sweep
+    manifests; the :class:`Job`-keyed half is the convenience layer
+    ``run_jobs`` uses.  Writes are atomic (unique temp file + rename),
+    so concurrent writers — pool workers, a serve daemon, a killed run
+    restarting — can only ever race to install identical bytes.
+    """
 
     def __init__(self, directory: str | os.PathLike):
         self.directory = Path(directory)
@@ -40,11 +49,15 @@ class ResultCache:
         self.hits = 0
         self.misses = 0
 
-    def _path(self, job: Job) -> Path:
-        return self.directory / f"{job_hash(job)}.json"
+    def path_for(self, digest: str) -> Path:
+        return self.directory / f"{digest}.json"
 
-    def get(self, job: Job) -> Optional[dict]:
-        path = self._path(job)
+    def has_hash(self, digest: str) -> bool:
+        """Existence probe; never touches the hit/miss counters."""
+        return self.path_for(digest).exists()
+
+    def get_hash(self, digest: str) -> Optional[dict]:
+        path = self.path_for(digest)
         if not path.exists():
             self.misses += 1
             return None
@@ -57,11 +70,19 @@ class ResultCache:
         self.hits += 1
         return metrics
 
-    def put(self, job: Job, metrics: dict) -> None:
-        path = self._path(job)
-        tmp = path.with_suffix(".tmp")
+    def put_hash(self, digest: str, metrics: dict) -> None:
+        path = self.path_for(digest)
+        # Per-process temp name: concurrent writers of the same object
+        # (identical content by construction) never clobber mid-rename.
+        tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
         tmp.write_text(json.dumps(metrics, sort_keys=True))
         tmp.replace(path)
+
+    def get(self, job: Job) -> Optional[dict]:
+        return self.get_hash(job_hash(job))
+
+    def put(self, job: Job, metrics: dict) -> None:
+        self.put_hash(job_hash(job), metrics)
 
     def __len__(self) -> int:
         return sum(1 for _ in self.directory.glob("*.json"))

@@ -42,6 +42,12 @@ def pytest_configure(config):
         "check: static invariant linter self-tests (repro.check; "
         "select with -m check)",
     )
+    config.addinivalue_line(
+        "markers",
+        "serve: sweep-as-a-service suite (daemon subprocesses, sockets, "
+        "SIGKILL crash/resume; select with -m serve, skip with "
+        "-m 'not serve')",
+    )
 
 
 @pytest.fixture(scope="session")

@@ -275,8 +275,15 @@ class TestLayerDag:
         }
         assert ALLOWED_IMPORTS["rt"] == ALLOWED_IMPORTS["sweep"] | {"sweep"}
         assert ALLOWED_IMPORTS["viz"] == ALLOWED_IMPORTS["sweep"] | {"sweep"}
+        assert ALLOWED_IMPORTS["serve"] == ALLOWED_IMPORTS["rt"] | {"rt"}
         assert ALLOWED_IMPORTS["check"] == frozenset()
         assert "check" not in ALLOWED_IMPORTS["experiments"]
+        # serve is a leaf: only the experiments CLI verb may reach it,
+        # and only lazily.
+        assert "serve" not in ALLOWED_IMPORTS["experiments"]
+        for pkg, deps in ALLOWED_IMPORTS.items():
+            assert "serve" not in deps, pkg
+        assert "serve" in LAZY_ALLOWED["experiments"]
         assert BASE_PACKAGES == {"_constants", "errors"}
 
     def test_declared_dag_is_acyclic(self):
@@ -451,6 +458,7 @@ class TestFixedSiteRegressions:
             "repro.sweep",
             "repro.rt",
             "repro.viz",
+            "repro.serve",
             "repro.experiments",
             "repro.check",
         ],
